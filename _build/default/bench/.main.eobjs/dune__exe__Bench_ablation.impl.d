@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Bench_common Counting List Printf Sim Stdx String

@@ -1,0 +1,1 @@
+bench/bench_figures.ml: Algo Array Bench_common Counting List Printf Sim Stdx String

@@ -1,0 +1,1 @@
+bench/bench_lemmas.ml: Array Bench_common Counting Format List Printf Sim Stdx

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Algo Analyze Array Bechamel Bench_common Benchmark Counting Instance List Mc Measure Printf Staged Stdx String Sys Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_pulling.ml: Algo Bench_common Counting List Printf Pulling Sim Stdx

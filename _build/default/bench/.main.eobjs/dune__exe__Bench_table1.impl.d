@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Algo Bench_common Counting List Printf Sim Stdx

@@ -1,0 +1,1 @@
+bench/bench_theorems.ml: Algo Bench_common Counting Float List Printf Sim Stdx

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_figures Bench_lemmas Bench_micro Bench_pulling Bench_table1 Bench_theorems List Printf Sys

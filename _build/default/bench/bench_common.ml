@@ -1,0 +1,48 @@
+(* Shared plumbing for the experiment harness. *)
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* The concrete instances used across experiments, with fixed state
+   types so probes can be used. *)
+
+let a41 ~c =
+  Counting.Boost.construct ~inner:(Counting.Trivial.single ~c:2304) ~k:4
+    ~big_f:1 ~big_c:c
+
+let a12_3 ~c =
+  Counting.Boost.construct ~inner:(a41 ~c:960).Counting.Boost.spec ~k:3
+    ~big_f:3 ~big_c:c
+
+let a36_7 ~c =
+  Counting.Boost.construct ~inner:(a12_3 ~c:1728).Counting.Boost.spec ~k:3
+    ~big_f:7 ~big_c:c
+
+(* Worst observed stabilisation time over an adversary/fault/seed grid;
+   None when some run failed to stabilise. *)
+let measure_worst ?(seeds = [ 1; 2; 3 ]) ?(rounds = 4000) ~spec ~adversaries
+    ~fault_sets () =
+  let agg =
+    Sim.Harness.sweep ~fault_sets ~seeds ~spec ~adversaries ~rounds ()
+  in
+  (agg.Sim.Harness.worst, agg)
+
+let verdict_cell = function
+  | Some w -> string_of_int w
+  | None -> "FAILED"
+
+let fraction_of_seeds ~seeds ~stabilised =
+  Printf.sprintf "%d/%d" stabilised seeds
+
+(* Clean-counting fraction over a window of rounds: the empirical
+   per-round success rate of Theorem 4's probabilistic counters. *)
+let clean_fraction ~c ~correct outputs ~from_round ~to_round =
+  let ok = ref 0 and total = ref 0 in
+  for t = from_round to to_round - 1 do
+    incr total;
+    if Sim.Stabilise.count_ok_step ~c ~correct outputs ~round:t then incr ok
+  done;
+  if !total = 0 then 0.0 else float_of_int !ok /. float_of_int !total

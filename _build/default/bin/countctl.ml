@@ -1,0 +1,186 @@
+(* countctl: command-line front end for planning, running and verifying
+   synchronous counters.
+
+     dune exec bin/countctl.exe -- plan --levels 4:1,3:3 --modulus 10
+     dune exec bin/countctl.exe -- run --levels 4:1,3:3 --modulus 10 \
+         --faulty 0,5,9 --adversary split-brain --rounds 4000 --seed 7
+     dune exec bin/countctl.exe -- verify --algorithm leader:4:3
+     dune exec bin/countctl.exe -- adversaries *)
+
+open Cmdliner
+
+let parse_levels s =
+  try
+    Ok
+      (List.map
+         (fun part ->
+           match String.split_on_char ':' part with
+           | [ k; f ] ->
+             { Counting.Plan.k = int_of_string k; big_f = int_of_string f }
+           | _ -> failwith "bad")
+         (String.split_on_char ',' s))
+  with _ -> Error (`Msg "levels must look like 4:1,3:3 (k:F pairs, bottom-up)")
+
+let levels_arg =
+  let levels_conv = Arg.conv ~docv:"LEVELS" (parse_levels, fun ppf _ -> Format.fprintf ppf "<levels>") in
+  Arg.(
+    value
+    & opt (some levels_conv) None
+    & info [ "levels" ] ~docv:"K:F,K:F,..."
+        ~doc:"Boosting schedule, bottom-up: one k:F pair per level.")
+
+let corollary_f_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "corollary1" ] ~docv:"F"
+        ~doc:"Use the Corollary 1 schedule for resilience $(docv).")
+
+let modulus_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "modulus"; "c" ] ~docv:"C" ~doc:"Counter modulus (c-counting).")
+
+let schedule levels corollary1 =
+  match (levels, corollary1) with
+  | Some l, None -> Ok l
+  | None, Some f -> Ok (Counting.Plan.corollary1_levels ~f)
+  | None, None -> Ok Counting.Plan.figure2_levels
+  | Some _, Some _ -> Error (`Msg "give either --levels or --corollary1")
+
+let plan_tower levels corollary1 modulus =
+  match schedule levels corollary1 with
+  | Error e -> Error e
+  | Ok l -> (
+    match Counting.Plan.plan_tower ~target_c:modulus l with
+    | Ok tower -> Ok tower
+    | Error msg -> Error (`Msg msg))
+
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let doc = "Plan a recursive construction and print its exact parameters." in
+  let run levels corollary1 modulus =
+    match plan_tower levels corollary1 modulus with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok tower ->
+      print_string (Counting.Build.describe tower);
+      let top = Counting.Plan.top tower in
+      Printf.printf
+        "total: A(%d, %d) counting mod %d, T <= %d rounds, %d state bits/node\n"
+        top.Counting.Plan.n top.Counting.Plan.big_f modulus
+        top.Counting.Plan.time_bound top.Counting.Plan.state_bits;
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(ret (const run $ levels_arg $ corollary_f_arg $ modulus_arg))
+
+let adversary_of_name name =
+  List.find_opt
+    (fun a -> Sim.Adversary.name a = name)
+    (Sim.Adversary.standard_suite ()
+    @ [ Sim.Adversary.greedy_confusion ~pool:2 () ])
+
+let faulty_arg =
+  let parse s =
+    try
+      Ok
+        (if s = "" then []
+         else List.map int_of_string (String.split_on_char ',' s))
+    with _ -> Error (`Msg "faulty must be a comma-separated id list")
+  in
+  let ids_conv = Arg.conv ~docv:"IDS" (parse, fun ppf _ -> Format.fprintf ppf "<ids>") in
+  Arg.(
+    value & opt ids_conv []
+    & info [ "faulty" ] ~docv:"IDS" ~doc:"Byzantine node ids, e.g. 0,5,9.")
+
+let run_cmd =
+  let doc = "Simulate a planned counter under an adversary." in
+  let adversary_arg =
+    Arg.(
+      value
+      & opt string "random-equivocate"
+      & info [ "adversary" ] ~docv:"NAME" ~doc:"Adversary strategy name.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 4000 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds to simulate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run levels corollary1 modulus faulty adversary rounds seed =
+    match plan_tower levels corollary1 modulus with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok tower -> (
+      let (Algo.Spec.Packed spec) = Counting.Build.tower tower in
+      match adversary_of_name adversary with
+      | None -> `Error (false, "unknown adversary; see `countctl adversaries'")
+      | Some adversary ->
+        let run = Sim.Network.run ~spec ~adversary ~faulty ~rounds ~seed () in
+        Printf.printf "%s\n" spec.Algo.Spec.name;
+        (match Sim.Stabilise.of_run ~min_suffix:64 run with
+        | Sim.Stabilise.Stabilized t ->
+          Printf.printf "stabilised at round %d (bound %d)\n" t
+            (Counting.Plan.top tower).Counting.Plan.time_bound
+        | Sim.Stabilise.Not_stabilized ->
+          Printf.printf "did not stabilise within %d rounds\n" rounds);
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ levels_arg $ corollary_f_arg $ modulus_arg $ faulty_arg
+       $ adversary_arg $ rounds_arg $ seed_arg))
+
+let verify_cmd =
+  let doc =
+    "Model-check a small counter exactly (trivial:C, leader:N:C)."
+  in
+  let algo_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "algorithm" ] ~docv:"SPEC"
+          ~doc:"Algorithm: trivial:C or leader:N:C.")
+  in
+  let run algo =
+    let spec =
+      match String.split_on_char ':' algo with
+      | [ "trivial"; c ] ->
+        Some (Algo.Spec.Packed (Counting.Trivial.single ~c:(int_of_string c)))
+      | [ "leader"; n; c ] ->
+        Some
+          (Algo.Spec.Packed
+             (Counting.Trivial.follow_leader ~n:(int_of_string n)
+                ~c:(int_of_string c)))
+      | _ -> None
+    in
+    match spec with
+    | None -> `Error (false, "unknown algorithm spec")
+    | Some (Algo.Spec.Packed spec) -> (
+      match Mc.Checker.check spec with
+      | Ok report ->
+        Printf.printf "VERIFIED: exact worst-case stabilisation T = %d\n"
+          report.Mc.Checker.worst_stabilisation;
+        `Ok ()
+      | Error f ->
+        Printf.printf "%s\n" (Mc.Checker.check_to_string (Error f));
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ algo_arg))
+
+let adversaries_cmd =
+  let doc = "List the available adversary strategies." in
+  let run () =
+    List.iter
+      (fun a -> print_endline (Sim.Adversary.name a))
+      (Sim.Adversary.standard_suite ()
+      @ [ Sim.Adversary.greedy_confusion ~pool:2 () ]);
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "adversaries" ~doc) Term.(ret (const run $ const ()))
+
+let () =
+  let doc = "self-stabilising Byzantine synchronous counting toolbox" in
+  let info = Cmd.info "countctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ plan_cmd; run_cmd; verify_cmd; adversaries_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Algo Counting List Printf Sim Stdx

@@ -1,0 +1,1 @@
+examples/pulling_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algo Array Counting List Printf Sim

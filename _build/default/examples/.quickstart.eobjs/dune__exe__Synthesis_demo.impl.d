@@ -1,0 +1,1 @@
+examples/synthesis_demo.ml: Algo Array Counting Mc Printf String

@@ -1,0 +1,1 @@
+examples/tdma_mutex.ml: Algo Array Counting List Printf Sim String

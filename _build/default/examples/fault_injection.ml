@@ -1,0 +1,67 @@
+(* Fault injection: sweep the whole adversary suite and several fault
+   placements against A(12,3), reporting stabilisation times.
+
+     dune exec examples/fault_injection.exe
+
+   Fault placements exercise the two structurally different cases of the
+   construction: faults spread one-per-block (every block stays
+   non-faulty) versus a whole block captured (a faulty block that the
+   other blocks must outvote). *)
+
+let () =
+  let levels =
+    [ { Counting.Plan.k = 4; big_f = 1 }; { Counting.Plan.k = 3; big_f = 3 } ]
+  in
+  let tower = Counting.Plan.plan_tower_exn ~target_c:2 levels in
+  let (Algo.Spec.Packed spec) = Counting.Build.tower tower in
+  let bound = (Counting.Plan.top tower).Counting.Plan.time_bound in
+  Printf.printf
+    "Fault injection on %s\n(n = %d, f = %d, Theorem 1 stabilisation bound %d)\n\n"
+    spec.Algo.Spec.name spec.Algo.Spec.n spec.Algo.Spec.f bound;
+  let placements =
+    [
+      ("none", []);
+      ("single node", [ 6 ]);
+      ("one per block", [ 0; 5; 9 ]);
+      ("whole block 1", [ 4; 5; 6 ]);
+      ("kings 0-2", [ 0; 1; 2 ]);
+    ]
+  in
+  let t =
+    Stdx.Table.create
+      ([ "adversary" ] @ List.map fst placements)
+  in
+  let adversaries =
+    Sim.Adversary.standard_suite () @ [ Sim.Adversary.greedy_confusion ~pool:2 () ]
+  in
+  List.iter
+    (fun adversary ->
+      let cells =
+        List.map
+          (fun (_, faulty) ->
+            let times =
+              List.filter_map
+                (fun seed ->
+                  let run =
+                    Sim.Network.run ~spec ~adversary ~faulty ~rounds:4000 ~seed ()
+                  in
+                  match Sim.Stabilise.of_run ~min_suffix:64 run with
+                  | Sim.Stabilise.Stabilized t -> Some t
+                  | Sim.Stabilise.Not_stabilized -> None)
+                [ 1; 2; 3 ]
+            in
+            match times with
+            | [ _; _; _ ] -> string_of_int (List.fold_left max 0 times)
+            | _ -> "FAIL"
+          )
+          placements
+      in
+      Stdx.Table.add_row t (Sim.Adversary.name adversary :: cells))
+    adversaries;
+  Stdx.Table.print t;
+  Printf.printf
+    "\nCells show the worst stabilisation time over 3 seeds (rounds).\n\
+     Every entry is far below the %d-round worst-case bound: the bound is\n\
+     driven by adversarial counter alignment, which random initial states\n\
+     rarely approach.\n"
+    bound

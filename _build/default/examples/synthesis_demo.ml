@@ -1,0 +1,68 @@
+(* Algorithm synthesis and exact verification — the [4,5] lineage the
+   paper builds on.
+
+     dune exec examples/synthesis_demo.exe
+
+   The model checker computes, for small algorithms, the exact worst-case
+   stabilisation time over all Byzantine strategies (not a simulation:
+   a full fixpoint over the configuration space). The synthesis engine
+   searches the family of uniform order-invariant transition tables with
+   the checker as its oracle. *)
+
+let show_check name spec =
+  match Mc.Checker.check spec with
+  | Ok report ->
+    Printf.printf "  %-32s VERIFIED  exact T = %d  (%d configs over %d fault sets)\n"
+      name report.Mc.Checker.worst_stabilisation
+      report.Mc.Checker.total_configurations report.Mc.Checker.faulty_sets
+  | Error f ->
+    Printf.printf "  %-32s %s\n" name (Mc.Checker.check_to_string (Error f))
+
+let () =
+  print_endline "1. Exact verification of small counters";
+  show_check "trivial(c=4), n=1, f=0" (Counting.Trivial.single ~c:4);
+  show_check "follow-leader, n=3, f=0" (Counting.Trivial.follow_leader ~n:3 ~c:2);
+  show_check "follow-leader, n=4, f=0, c=4" (Counting.Trivial.follow_leader ~n:4 ~c:4);
+  (* a wrong claim is caught with a concrete culprit fault set *)
+  show_check "follow-leader claiming f=1"
+    (Algo.Combinators.with_claimed_resilience
+       (Counting.Trivial.follow_leader ~n:4 ~c:2) ~f:1);
+
+  print_endline "\n2. Synthesis: uniform order-invariant tables";
+  (match Mc.Synth.exhaustive ~budget:200 (Mc.Synth.family ~n:3 ~f:0 ~c:2 ~s:2) with
+  | Mc.Synth.Found (cand, report) ->
+    Printf.printf
+      "  n=3 f=0 c=2 s=2: FOUND in exhaustive search, exact T = %d\n\
+      \    transition table: [%s]\n"
+      report.Mc.Checker.worst_stabilisation
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int cand.Mc.Synth.table)))
+  | Mc.Synth.Not_found_within_budget _ -> print_endline "  n=3 f=0: not found");
+
+  (* The negative result: exhaustive over all 4096 tables. *)
+  (match Mc.Synth.exhaustive ~budget:5000 (Mc.Synth.family ~n:6 ~f:1 ~c:2 ~s:2) with
+  | Mc.Synth.Found _ -> print_endline "  n=6 f=1 s=2: found (unexpected!)"
+  | Mc.Synth.Not_found_within_budget { evaluated; best_score } ->
+    Printf.printf
+      "  n=6 f=1 c=2 s=2: NO counter exists in this family\n\
+      \    (exhaustive: all %d tables enumerated, best residual trap %d).\n\
+      \    The 1-bit algorithm of [5] for n >= 6 therefore must use node\n\
+      \    identity — it is not expressible as a uniform function of the\n\
+      \    received multiset.\n"
+      evaluated best_score);
+
+  (* Budget-limited stochastic search for the 3-state n=4 f=1 counter of
+     [5]; honest about the outcome either way. *)
+  print_endline "\n3. Annealing towards the 3-state n=4 f=1 counter of [5] (bounded budget)";
+  (match Mc.Synth.anneal ~budget:4000 ~restarts:4 ~seed:11 (Mc.Synth.family ~n:4 ~f:1 ~c:2 ~s:3) with
+  | Mc.Synth.Found (cand, report) ->
+    Printf.printf "  FOUND: exact T = %d, table [%s]\n"
+      report.Mc.Checker.worst_stabilisation
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int cand.Mc.Synth.table)))
+  | Mc.Synth.Not_found_within_budget { evaluated; best_score } ->
+    Printf.printf
+      "  not found within budget (%d candidates, best residual trap %d).\n\
+      \  [5] needed SAT solvers and non-order-invariant tables for this\n\
+      \  parameter range; the search space here is 3^30 ~ 2 * 10^14.\n"
+      evaluated best_score)

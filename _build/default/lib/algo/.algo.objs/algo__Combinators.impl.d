@@ -1,0 +1,1 @@
+lib/algo/combinators.ml: Printf Spec

@@ -1,0 +1,1 @@
+lib/algo/spec.ml: Array Format List Printf Stdx

@@ -1,0 +1,1 @@
+lib/algo/spec.mli: Format Stdx

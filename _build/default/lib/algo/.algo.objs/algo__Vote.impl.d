@@ -1,0 +1,1 @@
+lib/algo/vote.ml: Array Int

@@ -1,0 +1,29 @@
+let project_counter (spec : 's Spec.t) ~modulus =
+  if modulus < 1 then invalid_arg "Combinators.project_counter: modulus < 1";
+  if spec.c mod modulus <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Combinators.project_counter: %d does not divide c = %d (%s)"
+         modulus spec.c spec.name);
+  {
+    spec with
+    c = modulus;
+    name = Printf.sprintf "%s mod %d" spec.name modulus;
+    output = (fun ~self s -> spec.output ~self s mod modulus);
+  }
+
+let rename (spec : 's Spec.t) name = { spec with name }
+
+let with_claimed_resilience (spec : 's Spec.t) ~f =
+  if f < 0 then invalid_arg "Combinators.with_claimed_resilience: f < 0";
+  { spec with f }
+
+let observe (spec : 's Spec.t) ~on_transition =
+  {
+    spec with
+    transition =
+      (fun ~self ~rng received ->
+        let next = spec.transition ~self ~rng received in
+        on_transition ~self received next;
+        next);
+  }

@@ -1,0 +1,65 @@
+type 's t = {
+  name : string;
+  n : int;
+  f : int;
+  c : int;
+  deterministic : bool;
+  state_bits : int;
+  equal_state : 's -> 's -> bool;
+  compare_state : 's -> 's -> int;
+  pp_state : Format.formatter -> 's -> unit;
+  random_state : Stdx.Rng.t -> 's;
+  all_states : 's list option;
+  transition : self:int -> rng:Stdx.Rng.t -> 's array -> 's;
+  output : self:int -> 's -> int;
+}
+
+let validate spec =
+  let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  if spec.n < 1 then fail "n = %d < 1" spec.n
+  else if spec.f < 0 then fail "f = %d < 0" spec.f
+  else if spec.c < 1 then fail "c = %d < 1" spec.c
+  else if spec.state_bits < 1 then fail "state_bits = %d < 1" spec.state_bits
+  else
+    match spec.all_states with
+    | None -> Ok ()
+    | Some states ->
+      let count = List.length states in
+      if count = 0 then fail "all_states is empty"
+      else if spec.state_bits < Stdx.Imath.bits_for count then
+        fail "state_bits = %d < ceil(log2 %d)" spec.state_bits count
+      else begin
+        let bad_output =
+          List.find_opt
+            (fun s ->
+              let exception Bad in
+              try
+                for v = 0 to spec.n - 1 do
+                  let o = spec.output ~self:v s in
+                  if o < 0 || o >= spec.c then raise Bad
+                done;
+                false
+              with Bad -> true)
+            states
+        in
+        match bad_output with
+        | Some s ->
+          fail "output outside [0,%d) for state %a" spec.c spec.pp_state s
+        | None -> Ok ()
+      end
+
+let validate_exn spec =
+  match validate spec with
+  | Ok () -> spec
+  | Error msg -> invalid_arg (Printf.sprintf "Spec.validate (%s): %s" spec.name msg)
+
+let counter_values spec states =
+  Array.mapi (fun v s -> spec.output ~self:v s) states
+
+type packed = Packed : 's t -> packed
+
+let packed_name (Packed s) = s.name
+let packed_n (Packed s) = s.n
+let packed_f (Packed s) = s.f
+let packed_c (Packed s) = s.c
+let packed_state_bits (Packed s) = s.state_bits

@@ -1,0 +1,74 @@
+(** First-class representation of a synchronous counting algorithm.
+
+    Following Section 2 of the paper, a deterministic algorithm is a tuple
+    [A = (X, g, h)]: a state set [X], a transition function
+    [g : \[n\] x X^n -> X], and an output function [h : \[n\] x X -> \[c\]].
+    In every synchronous round each node broadcasts its state, receives the
+    vector of states of all [n] nodes (with slots of Byzantine senders
+    replaced by arbitrary values, possibly different per recipient), and
+    applies [g].
+
+    A value of type ['s t] packages the tuple together with the metadata
+    needed by the rest of the repository:
+
+    - the simulator needs [random_state] (arbitrary initial states and
+      Byzantine message fabrication) and [equal_state]/[pp_state];
+    - the model checker additionally needs [all_states] and
+      [compare_state];
+    - the resilience-boosting construction of Theorem 1 composes specs
+      into specs of a richer state type;
+    - [state_bits] carries the paper's space complexity
+      [S(A) = ceil(log2 |X|)].
+
+    Randomised algorithms (the baseline of Table 1 rows citing
+    Dolev-Welch) use the [rng] argument of [transition] and set
+    [deterministic = false]; deterministic algorithms must ignore [rng]. *)
+
+type 's t = {
+  name : string;  (** human-readable, e.g. ["boost(k=3,F=3) over triv"] *)
+  n : int;  (** number of nodes the algorithm runs on *)
+  f : int;  (** claimed resilience: tolerated Byzantine nodes *)
+  c : int;  (** counts modulo [c]; outputs lie in [\[0, c)] *)
+  deterministic : bool;
+  state_bits : int;  (** [S(A) = ceil(log2 |X|)] *)
+  equal_state : 's -> 's -> bool;
+  compare_state : 's -> 's -> int;  (** total order, for sets/maps *)
+  pp_state : Format.formatter -> 's -> unit;
+  random_state : Stdx.Rng.t -> 's;
+      (** uniform-ish sample of [X]; used for arbitrary initial states and
+          as a building block of Byzantine behaviour *)
+  all_states : 's list option;
+      (** full enumeration of [X] when tractable (enables model checking);
+          [None] for composed algorithms with astronomically many states *)
+  transition : self:int -> rng:Stdx.Rng.t -> 's array -> 's;
+      (** [transition ~self ~rng received] is [g(self, received)];
+          [received.(j)] is the message from node [j] as seen by [self]
+          (non-faulty [j] send their true state, and
+          [received.(self)] is the node's own state) *)
+  output : self:int -> 's -> int;  (** [h(self, state)], in [\[0, c)] *)
+}
+
+val validate : 's t -> (unit, string) result
+(** Structural sanity checks: [n >= 1], [0 <= f], [c >= 1],
+    [state_bits >= 1], and when [all_states] is available, that outputs of
+    all states at all nodes lie in [\[0, c)], that [X] is closed under
+    [transition] from honest vectors, and that [state_bits] is at least
+    [ceil(log2 |X|)]. *)
+
+val validate_exn : 's t -> 's t
+(** [validate_exn spec] is [spec], or raises [Invalid_argument] with the
+    failure reason. *)
+
+val counter_values : 's t -> 's array -> int array
+(** [counter_values spec states] evaluates [h] node-wise: the per-node
+    outputs of a full state vector. *)
+
+type packed = Packed : 's t -> packed
+(** Existential wrapper so heterogeneously-typed levels of the recursive
+    construction can live in one list. *)
+
+val packed_name : packed -> string
+val packed_n : packed -> int
+val packed_f : packed -> int
+val packed_c : packed -> int
+val packed_state_bits : packed -> int

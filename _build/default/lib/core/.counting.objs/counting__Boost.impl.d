@@ -1,0 +1,1 @@
+lib/core/boost.ml: Algo Array Bool Counter_view Format Phase_king Printf Stdx

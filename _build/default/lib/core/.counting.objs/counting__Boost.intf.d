@@ -1,0 +1,1 @@
+lib/core/boost.mli: Algo Counter_view

@@ -1,0 +1,1 @@
+lib/core/build.ml: Algo Boost Buffer List Plan Printf Stdx Trivial

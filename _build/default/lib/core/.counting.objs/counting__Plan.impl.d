@@ -1,0 +1,1 @@
+lib/core/plan.ml: Boost Float List Printf Result Stdx Trivial

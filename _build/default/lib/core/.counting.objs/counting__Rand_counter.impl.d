@@ -1,0 +1,1 @@
+lib/core/rand_counter.ml: Algo Array Format Int Printf Stdx

@@ -1,0 +1,1 @@
+lib/core/rand_counter.mli: Algo

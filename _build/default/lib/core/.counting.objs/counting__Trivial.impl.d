@@ -1,0 +1,1 @@
+lib/core/trivial.ml: Algo Array Format Int List Printf Stdx

@@ -1,0 +1,1 @@
+lib/core/trivial.mli: Algo

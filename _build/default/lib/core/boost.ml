@@ -1,0 +1,267 @@
+type 's state = { inner : 's; a : int option; d : bool }
+
+type params = {
+  k : int;
+  m : int;
+  n_inner : int;
+  f_inner : int;
+  big_n : int;
+  big_f : int;
+  big_c : int;
+  tau : int;
+  time_overhead : int;
+  required_inner_c : int;
+}
+
+let plan ~k ~big_f ~big_c ~n_inner ~f_inner ~inner_c =
+  let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  if k < 3 then fail "k = %d < 3 blocks" k
+  else if n_inner < 1 then fail "inner n = %d < 1" n_inner
+  else if f_inner < 0 then fail "inner f = %d < 0" f_inner
+  else if big_f < 0 then fail "F = %d < 0" big_f
+  else if big_c < 2 then fail "C = %d; Theorem 1 needs C > 1" big_c
+  else begin
+    let m = (k + 1) / 2 in
+    let big_n = k * n_inner in
+    if big_f >= (f_inner + 1) * m then
+      fail "F = %d violates F < (f+1)*ceil(k/2) = %d" big_f ((f_inner + 1) * m)
+    else if 3 * big_f >= big_n then
+      fail "F = %d violates F < N/3 with N = %d" big_f big_n
+    else begin
+      let tau = 3 * (big_f + 2) in
+      match Stdx.Imath.pow (2 * m) k with
+      | exception Failure _ -> fail "(2m)^k overflows: k = %d, m = %d" k m
+      | window ->
+        let required_inner_c = tau * window in
+        if required_inner_c <= 0 then
+          fail "3(F+2)(2m)^k overflows: F = %d, k = %d" big_f k
+        else if inner_c mod required_inner_c <> 0 then
+          fail "inner c = %d is not a multiple of 3(F+2)(2m)^k = %d" inner_c
+            required_inner_c
+        else
+          Ok
+            {
+              k;
+              m;
+              n_inner;
+              f_inner;
+              big_n;
+              big_f;
+              big_c;
+              tau;
+              time_overhead = required_inner_c;
+              required_inner_c;
+            }
+    end
+  end
+
+let plan_exn ~k ~big_f ~big_c ~n_inner ~f_inner ~inner_c =
+  match plan ~k ~big_f ~big_c ~n_inner ~f_inner ~inner_c with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Boost.plan: " ^ msg)
+
+type 's t = {
+  spec : 's state Algo.Spec.t;
+  params : params;
+  inner : 's Algo.Spec.t;
+  view_params : Counter_view.params array;
+}
+
+let node_of p ~block ~slot = (block * p.n_inner) + slot
+
+let block_of p v = (v / p.n_inner, v mod p.n_inner)
+
+let time_bound ~inner_time p = inner_time + p.time_overhead
+
+(* The (r, y, b) view of node u's block counter, as decoded from the state
+   it broadcast. Block i of the construction runs A_i = A mod c_i; the
+   modulo reduction happens inside Counter_view.of_value. *)
+let view_of_received (inner : 's Algo.Spec.t) view_params p ~u inner_state =
+  let block, slot = block_of p u in
+  let value = inner.Algo.Spec.output ~self:slot inner_state in
+  Counter_view.of_value view_params.(block) value
+
+let compute_vote (inner : 's Algo.Spec.t) view_params p received_inner =
+  let views =
+    Array.mapi
+      (fun u s -> view_of_received inner view_params p ~u s)
+      received_inner
+  in
+  (* b^i: the leader pointer block i supports (majority within block i). *)
+  let block_votes =
+    Array.init p.k (fun i ->
+        let ballots =
+          Array.init p.n_inner (fun j ->
+              views.(node_of p ~block:i ~slot:j).Counter_view.b)
+        in
+        Algo.Vote.majority_int ~default:0 ballots)
+  in
+  (* B: the leader block supported by a majority of blocks. *)
+  let leader = Algo.Vote.majority_int ~default:0 block_votes in
+  (* R: the round counter of block B, read by majority inside block B. *)
+  let r_ballots =
+    Array.init p.n_inner (fun j ->
+        views.(node_of p ~block:leader ~slot:j).Counter_view.r)
+  in
+  let r_value = Algo.Vote.majority_int ~default:0 r_ballots in
+  (views, block_votes, leader, r_value)
+
+type ablation = Short_window of int | Pointer_base_m | Naive_phase_king
+
+(* Phase king with thresholds an adversary can fake: simple majority in
+   place of N - F and "one vote" in place of F + 1 (ablation A3). *)
+let naive_phase_king_step ~cap ~big_n ~index ~(self : Phase_king.reg) ~received
+    =
+  let clamp = function
+    | Some x when x >= 0 && x < cap -> Some x
+    | Some _ | None -> None
+  in
+  let received = Array.map clamp received in
+  let majority = (big_n / 2) + 1 in
+  let count v =
+    Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 received
+  in
+  let increment = Phase_king.increment ~cap in
+  let ell = index / 3 in
+  match index mod 3 with
+  | 0 ->
+    let a = if count self.Phase_king.a < majority then None else self.Phase_king.a in
+    { Phase_king.a = increment a; d = self.Phase_king.d }
+  | 1 ->
+    let d = count self.Phase_king.a >= majority in
+    let rec find j =
+      if j >= cap then None
+      else if count (Some j) >= 1 then Some j
+      else find (j + 1)
+    in
+    { Phase_king.a = increment (find 0); d }
+  | _ ->
+    let a =
+      if self.Phase_king.a = None || not self.Phase_king.d then
+        let imposed =
+          match received.(ell) with None -> cap | Some x -> min cap x
+        in
+        Some ((imposed + 1) mod cap)
+      else increment self.Phase_king.a
+    in
+    { Phase_king.a; d = true }
+
+let construct_gen ?ablation ~(inner : 's Algo.Spec.t) ~k ~big_f ~big_c () =
+  let p =
+    plan_exn ~k ~big_f ~big_c ~n_inner:inner.Algo.Spec.n
+      ~f_inner:inner.Algo.Spec.f ~inner_c:inner.Algo.Spec.c
+  in
+  let p =
+    match ablation with
+    | Some (Short_window t') ->
+      if t' < 3 || t' mod 3 <> 0 || t' >= p.tau then
+        invalid_arg "Boost.construct_ablated: Short_window needs a multiple of 3 below tau";
+      { p with tau = t' }
+    | Some Pointer_base_m | Some Naive_phase_king | None -> p
+  in
+  let base = match ablation with Some Pointer_base_m -> Some p.m | _ -> None in
+  let view_params =
+    Array.init k (fun level ->
+        Counter_view.make_params ?base ~tau:p.tau ~m:p.m ~level ())
+  in
+  let equal_state (s1 : 's state) (s2 : 's state) =
+    inner.Algo.Spec.equal_state s1.inner s2.inner && s1.a = s2.a && s1.d = s2.d
+  in
+  let compare_state (s1 : 's state) (s2 : 's state) =
+    let c = inner.Algo.Spec.compare_state s1.inner s2.inner in
+    if c <> 0 then c
+    else
+      let c = compare s1.a s2.a in
+      if c <> 0 then c else Bool.compare s1.d s2.d
+  in
+  let pp_state ppf (s : 's state) =
+    let pp_a ppf = function
+      | None -> Format.pp_print_string ppf "inf"
+      | Some x -> Format.pp_print_int ppf x
+    in
+    Format.fprintf ppf "{inner=%a; a=%a; d=%d}" inner.Algo.Spec.pp_state
+      s.inner pp_a s.a
+      (if s.d then 1 else 0)
+  in
+  let random_state rng =
+    let a =
+      let raw = Stdx.Rng.int rng (big_c + 1) in
+      if raw = big_c then None else Some raw
+    in
+    { inner = inner.Algo.Spec.random_state rng; a; d = Stdx.Rng.bool rng }
+  in
+  let transition ~self ~rng (received : 's state array) =
+    let block, slot = block_of p self in
+    (* Step 1: advance this block's copy of A on the block's messages. *)
+    let block_messages =
+      Array.init p.n_inner (fun j ->
+          received.(node_of p ~block ~slot:j).inner)
+    in
+    let inner' = inner.Algo.Spec.transition ~self:slot ~rng block_messages in
+    (* Step 2: leader election and round counter by nested majorities. *)
+    let received_inner = Array.map (fun (s : _ state) -> s.inner) received in
+    let _views, _votes, _leader, r_value =
+      compute_vote inner view_params p received_inner
+    in
+    (* Step 3: phase-king instruction set I_R on the (a, d) registers. *)
+    let a_values = Array.map (fun (s : _ state) -> s.a) received in
+    let self_reg = { Phase_king.a = received.(self).a; d = received.(self).d } in
+    let reg =
+      match ablation with
+      | Some Naive_phase_king ->
+        naive_phase_king_step ~cap:big_c ~big_n:p.big_n ~index:r_value
+          ~self:self_reg ~received:a_values
+      | Some (Short_window _) | Some Pointer_base_m | None ->
+        Phase_king.step ~cap:big_c ~big_n:p.big_n ~big_f ~index:r_value
+          ~self:self_reg ~received:a_values
+    in
+    { inner = inner'; a = reg.Phase_king.a; d = reg.Phase_king.d }
+  in
+  let output ~self:_ s = match s.a with Some x -> x mod big_c | None -> 0 in
+  let tag =
+    match ablation with
+    | None -> ""
+    | Some (Short_window t') -> Printf.sprintf "!tau=%d" t'
+    | Some Pointer_base_m -> "!base=m"
+    | Some Naive_phase_king -> "!naive-king"
+  in
+  let spec =
+    {
+      Algo.Spec.name =
+        Printf.sprintf "boost%s[k=%d,F=%d,C=%d](%s)" tag k big_f big_c
+          inner.Algo.Spec.name;
+      n = p.big_n;
+      f = big_f;
+      c = big_c;
+      deterministic = inner.Algo.Spec.deterministic;
+      state_bits =
+        inner.Algo.Spec.state_bits + Stdx.Imath.bits_for (big_c + 1) + 1;
+      equal_state;
+      compare_state;
+      pp_state;
+      random_state;
+      all_states = None;
+      transition;
+      output;
+    }
+  in
+  { spec; params = p; inner; view_params }
+
+let construct ~inner ~k ~big_f ~big_c = construct_gen ~inner ~k ~big_f ~big_c ()
+
+let construct_ablated ~ablation ~inner ~k ~big_f ~big_c =
+  construct_gen ~ablation ~inner ~k ~big_f ~big_c ()
+
+type probe = {
+  views : Counter_view.t array;
+  block_votes : int array;
+  leader : int;
+  r_value : int;
+}
+
+let probe_states t states =
+  let received_inner = Array.map (fun (s : _ state) -> s.inner) states in
+  let views, block_votes, leader, r_value =
+    compute_vote t.inner t.view_params t.params received_inner
+  in
+  { views; block_votes; leader; r_value }

@@ -1,0 +1,41 @@
+let states_of c = Some (List.init c (fun i -> i))
+
+(* Enumerating astronomically large state spaces would defeat the model
+   checker before it starts; past this size we report [all_states = None]. *)
+let enumeration_limit = 1 lsl 20
+
+let base ~name ~n ~c ~transition : int Algo.Spec.t =
+  if c < 1 then invalid_arg "Trivial: c < 1";
+  if n < 1 then invalid_arg "Trivial: n < 1";
+  {
+    Algo.Spec.name;
+    n;
+    f = 0;
+    c;
+    deterministic = true;
+    state_bits = Stdx.Imath.bits_for c;
+    equal_state = Int.equal;
+    compare_state = Int.compare;
+    pp_state = Format.pp_print_int;
+    random_state = (fun rng -> Stdx.Rng.int rng c);
+    all_states = (if c <= enumeration_limit then states_of c else None);
+    transition;
+    output = (fun ~self:_ s -> s);
+  }
+
+let single ~c =
+  base
+    ~name:(Printf.sprintf "trivial(c=%d)" c)
+    ~n:1 ~c
+    ~transition:(fun ~self ~rng:_ received -> (received.(self) + 1) mod c)
+
+let follow_leader ~n ~c =
+  base
+    ~name:(Printf.sprintf "follow-leader(n=%d,c=%d)" n c)
+    ~n ~c
+    ~transition:(fun ~self:_ ~rng:_ received ->
+      (* With f = 0, node 0's broadcast is identical at all recipients, so
+         all nodes agree from the next round on. *)
+      (received.(0) + 1) mod c)
+
+let exact_stabilisation_time ~n = if n = 1 then 0 else 1

@@ -1,0 +1,22 @@
+(** 0-resilient counters — the base case of the recursion (Section 4.1).
+
+    "Alternatively, we can use as a starting point trivial counters for
+    n = 1 and f = 0." A single node stores a value in [\[c\]] and
+    increments it each round; with no faulty nodes and one node, any
+    starting state already counts, so the stabilisation time is 0.
+
+    We also provide the [n]-node 0-resilient variant (everyone adopts
+    node 0's value + 1), which stabilises in one round; it is useful in
+    tests and in block constructions whose bottom blocks hold more than
+    one node. *)
+
+val single : c:int -> int Algo.Spec.t
+(** The paper's trivial counter: [n = 1], [f = 0], state space [\[c\]],
+    [T = 0], [S = ceil(log2 c)]. *)
+
+val follow_leader : n:int -> c:int -> int Algo.Spec.t
+(** [n]-node 0-resilient [c]-counter: every node adopts
+    [(received value of node 0) + 1 mod c]. [T = 1]. *)
+
+val exact_stabilisation_time : n:int -> int
+(** 0 for [n = 1], 1 otherwise — used by the planners. *)

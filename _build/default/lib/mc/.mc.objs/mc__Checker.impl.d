@@ -1,0 +1,1 @@
+lib/mc/checker.ml: Algo Array Bytes List Printf Space String

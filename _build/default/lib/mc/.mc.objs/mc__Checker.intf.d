@@ -1,0 +1,1 @@
+lib/mc/checker.mli: Algo Space

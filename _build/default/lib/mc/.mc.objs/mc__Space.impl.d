@@ -1,0 +1,1 @@
+lib/mc/space.ml: Algo Array Format Hashtbl Int List Printf Stdx

@@ -1,0 +1,1 @@
+lib/mc/space.mli: Algo Format

@@ -1,0 +1,1 @@
+lib/mc/synth.ml: Algo Array Checker Float Format Hashtbl Int List Printf Space Stdx

@@ -1,0 +1,1 @@
+lib/mc/synth.mli: Algo Checker

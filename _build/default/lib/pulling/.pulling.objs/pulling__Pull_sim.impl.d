@@ -1,0 +1,1 @@
+lib/pulling/pull_sim.ml: Array Hashtbl Int List Pull_spec Stdx

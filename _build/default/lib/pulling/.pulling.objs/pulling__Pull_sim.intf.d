@@ -1,0 +1,1 @@
+lib/pulling/pull_sim.mli: Pull_spec Stdx

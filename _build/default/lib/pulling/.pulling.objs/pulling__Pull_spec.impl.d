@@ -1,0 +1,1 @@
+lib/pulling/pull_spec.ml: Format Stdx

@@ -1,0 +1,1 @@
+lib/pulling/pull_spec.mli: Format Stdx

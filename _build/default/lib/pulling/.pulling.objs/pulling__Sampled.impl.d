@@ -1,0 +1,1 @@
+lib/pulling/sampled.ml: Algo Array Counting Format List Printf Pull_spec Stdx

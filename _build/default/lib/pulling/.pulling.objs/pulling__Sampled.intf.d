@@ -1,0 +1,1 @@
+lib/pulling/sampled.mli: Algo Counting Pull_spec

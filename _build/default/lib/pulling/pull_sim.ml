@@ -1,0 +1,150 @@
+type 's responder = {
+  resp_name : string;
+  respond :
+    spec:'s Pull_spec.t ->
+    rng:Stdx.Rng.t ->
+    round:int ->
+    states:'s array ->
+    target:int ->
+    puller:int ->
+    's;
+}
+
+let truthful_responder () =
+  {
+    resp_name = "truthful";
+    respond =
+      (fun ~spec:_ ~rng:_ ~round:_ ~states ~target ~puller:_ -> states.(target));
+  }
+
+let random_responder () =
+  {
+    resp_name = "random";
+    respond =
+      (fun ~spec ~rng ~round:_ ~states:_ ~target:_ ~puller:_ ->
+        spec.Pull_spec.random_state rng);
+  }
+
+let stuck_responder () =
+  let frozen = Hashtbl.create 8 in
+  {
+    resp_name = "stuck";
+    respond =
+      (fun ~spec:_ ~rng:_ ~round:_ ~states ~target ~puller:_ ->
+        match Hashtbl.find_opt frozen target with
+        | Some s -> s
+        | None ->
+          Hashtbl.replace frozen target states.(target);
+          states.(target));
+  }
+
+let mirror_responder () =
+  {
+    resp_name = "mirror";
+    respond =
+      (fun ~spec:_ ~rng:_ ~round:_ ~states ~target:_ ~puller -> states.(puller));
+  }
+
+let standard_responders () =
+  [
+    truthful_responder ();
+    random_responder ();
+    stuck_responder ();
+    mirror_responder ();
+  ]
+
+type 's run = {
+  spec : 's Pull_spec.t;
+  faulty : int array;
+  seed : int;
+  rounds : int;
+  outputs : int array array;
+  states : 's array array;
+  max_pulls : int;
+  total_pulls : int;
+  bits_pulled_per_round : float;
+}
+
+let run ?init ~(spec : 's Pull_spec.t) ~responder ~faulty ~rounds ~seed () =
+  let n = spec.Pull_spec.n in
+  let sorted = List.sort_uniq Int.compare faulty in
+  if List.length sorted <> List.length faulty then
+    invalid_arg "Pull_sim.run: duplicate faulty ids";
+  if List.exists (fun v -> v < 0 || v >= n) faulty then
+    invalid_arg "Pull_sim.run: faulty id out of range";
+  if List.length faulty > spec.Pull_spec.f then
+    invalid_arg "Pull_sim.run: too many faulty nodes";
+  let faulty = Array.of_list sorted in
+  let is_faulty = Array.make n false in
+  Array.iter (fun v -> is_faulty.(v) <- true) faulty;
+  let master = Stdx.Rng.create seed in
+  let init_rng = Stdx.Rng.split master in
+  let adv_rng = Stdx.Rng.split master in
+  let node_rng = Array.init n (fun _ -> Stdx.Rng.split master) in
+  let states = Array.make (rounds + 1) [||] in
+  let outputs = Array.make (rounds + 1) [||] in
+  states.(0) <-
+    (match init with
+    | Some s ->
+      if Array.length s <> n then invalid_arg "Pull_sim.run: init length";
+      Array.copy s
+    | None -> Array.init n (fun _ -> spec.Pull_spec.random_state init_rng));
+  let max_pulls = ref 0 in
+  let total_pulls = ref 0 in
+  for t = 0 to rounds do
+    let current = states.(t) in
+    outputs.(t) <-
+      Array.mapi (fun v s -> spec.Pull_spec.output ~self:v s) current;
+    if t < rounds then begin
+      let next =
+        Array.init n (fun v ->
+            if is_faulty.(v) then current.(v)
+            else begin
+              let targets =
+                spec.Pull_spec.pulls ~self:v ~rng:node_rng.(v) current.(v)
+              in
+              let pulls = Array.length targets in
+              total_pulls := !total_pulls + pulls;
+              if pulls > !max_pulls then max_pulls := pulls;
+              let responses =
+                Array.map
+                  (fun u ->
+                    let reply =
+                      if is_faulty.(u) then
+                        responder.respond ~spec ~rng:adv_rng ~round:t
+                          ~states:current ~target:u ~puller:v
+                      else current.(u)
+                    in
+                    (u, reply))
+                  targets
+              in
+              spec.Pull_spec.transition ~self:v ~rng:node_rng.(v)
+                ~own:current.(v) ~responses
+            end)
+      in
+      states.(t + 1) <- next
+    end
+  done;
+  let correct_count = n - Array.length faulty in
+  let bits_pulled_per_round =
+    if rounds = 0 || correct_count = 0 then 0.0
+    else
+      float_of_int (!total_pulls * spec.Pull_spec.state_bits)
+      /. float_of_int (rounds * correct_count)
+  in
+  {
+    spec;
+    faulty;
+    seed;
+    rounds;
+    outputs;
+    states;
+    max_pulls = !max_pulls;
+    total_pulls = !total_pulls;
+    bits_pulled_per_round;
+  }
+
+let correct_ids run =
+  List.filter
+    (fun v -> not (Array.exists (fun u -> u = v) run.faulty))
+    (List.init run.spec.Pull_spec.n (fun i -> i))

@@ -1,0 +1,52 @@
+(** Simulator for the pulling model, with per-node message accounting. *)
+
+type 's responder = {
+  resp_name : string;
+  respond :
+    spec:'s Pull_spec.t ->
+    rng:Stdx.Rng.t ->
+    round:int ->
+    states:'s array ->
+    target:int ->
+    puller:int ->
+    's;
+      (** what faulty node [target] answers to [puller] this round *)
+}
+
+val truthful_responder : unit -> 's responder
+val random_responder : unit -> 's responder
+(** A fresh random state per request — per-puller equivocation. *)
+
+val stuck_responder : unit -> 's responder
+(** Always answers with the state held at the first request. *)
+
+val mirror_responder : unit -> 's responder
+(** Answers with the puller's own current state — a flattery attack that
+    always confirms whatever the asker already believes. *)
+
+val standard_responders : unit -> 's responder list
+
+type 's run = {
+  spec : 's Pull_spec.t;
+  faulty : int array;
+  seed : int;
+  rounds : int;
+  outputs : int array array;  (** [outputs.(t).(v)] *)
+  states : 's array array;
+  max_pulls : int;  (** max pulls per round by a non-faulty node *)
+  total_pulls : int;  (** summed over non-faulty nodes and all rounds *)
+  bits_pulled_per_round : float;
+      (** average bits received per non-faulty node per round *)
+}
+
+val run :
+  ?init:'s array ->
+  spec:'s Pull_spec.t ->
+  responder:'s responder ->
+  faulty:int list ->
+  rounds:int ->
+  seed:int ->
+  unit ->
+  's run
+
+val correct_ids : 's run -> int list

@@ -1,0 +1,35 @@
+(** Algorithms for the synchronous pulling model (Section 5.1).
+
+    In every round each node (1) contacts a subset of nodes by pulling
+    their state, (2) contacted nodes respond with their state as of the
+    beginning of the round, and (3) everyone updates. The communication
+    cost is attributed to the {e pulling} node — in the circuit
+    interpretation, the puller powers the link — so the figure of merit
+    is the maximum number of pulls a non-faulty node performs per round.
+
+    Faulty nodes may answer with arbitrary states, differently to every
+    puller; pull {e requests} of faulty nodes cost nothing to honest
+    nodes and are ignored by the simulator. *)
+
+type 's t = {
+  name : string;
+  n : int;
+  f : int;
+  c : int;
+  state_bits : int;
+  deterministic : bool;
+  equal_state : 's -> 's -> bool;
+  pp_state : Format.formatter -> 's -> unit;
+  random_state : Stdx.Rng.t -> 's;
+  pulls : self:int -> rng:Stdx.Rng.t -> 's -> int array;
+      (** targets to pull this round, chosen from own state before any
+          message is received; duplicates allowed (sampling with
+          replacement), each occurrence is paid for *)
+  transition :
+    self:int -> rng:Stdx.Rng.t -> own:'s -> responses:(int * 's) array -> 's;
+      (** [responses.(i)] is [(target, state)] answering [pulls] target [i]
+          (same order, duplicates included) *)
+  output : self:int -> 's -> int;
+}
+
+val validate_exn : 's t -> 's t

@@ -1,0 +1,245 @@
+type 's state = {
+  inner : 's;
+  a : int option;
+  d : bool;
+  prev_r : int;
+}
+
+type t_params = {
+  boost : Counting.Boost.params;
+  samples : int;
+  pulls_per_round : int;
+}
+
+type 's t = {
+  spec : 's state Pull_spec.t;
+  params : t_params;
+  inner : 's Algo.Spec.t;
+}
+
+type king_mode = Predicted | All_kings
+
+(* Sampled phase-king instruction step (Section 5.3, "Randomised Phase
+   King"): the N-F quorum becomes a 2/3 fraction of the M samples, the
+   F+1 bar becomes a 1/3 fraction (Lemma 8). *)
+let step_sampled ~cap ~m ~index ~(self : Counting.Phase_king.reg) ~sampled_a ~king_a =
+  let clamp = function
+    | Some x when x >= 0 && x < cap -> Some x
+    | Some _ | None -> None
+  in
+  let sampled_a = List.map clamp sampled_a in
+  let king_a = clamp king_a in
+  let count v = List.length (List.filter (fun x -> x = v) sampled_a) in
+  let two_thirds z = 3 * z >= 2 * m in
+  let one_third z = 3 * z > m in
+  let increment = Counting.Phase_king.increment ~cap in
+  match index mod 3 with
+  | 0 ->
+    let a =
+      if two_thirds (count self.Counting.Phase_king.a) then self.Counting.Phase_king.a else None
+    in
+    { Counting.Phase_king.a = increment a; d = self.Counting.Phase_king.d }
+  | 1 ->
+    let d = two_thirds (count self.Counting.Phase_king.a) in
+    let rec find j =
+      if j >= cap then None
+      else if one_third (count (Some j)) then Some j
+      else find (j + 1)
+    in
+    { Counting.Phase_king.a = increment (find 0); d }
+  | _ ->
+    let a =
+      if self.Counting.Phase_king.a = None || not self.Counting.Phase_king.d then
+        let imposed = match king_a with None -> cap | Some x -> min cap x in
+        Some ((imposed + 1) mod cap)
+      else increment self.Counting.Phase_king.a
+    in
+    { Counting.Phase_king.a; d = true }
+
+let construct_gen ~king_mode ~links_seed ~(inner : 's Algo.Spec.t) ~k ~big_f
+    ~big_c ~samples =
+  if samples < 1 then invalid_arg "Sampled.construct: samples < 1";
+  let p =
+    Counting.Boost.plan_exn ~k ~big_f ~big_c ~n_inner:inner.Algo.Spec.n
+      ~f_inner:inner.Algo.Spec.f ~inner_c:inner.Algo.Spec.c
+  in
+  let view_params =
+    Array.init k (fun level ->
+        Counting.Counter_view.make_params ~tau:p.Counting.Boost.tau
+          ~m:p.Counting.Boost.m ~level ())
+  in
+  let n_inner = p.Counting.Boost.n_inner in
+  let big_n = p.Counting.Boost.big_n in
+  let tau = p.Counting.Boost.tau in
+  let kings = big_f + 2 in
+  let block_peers self =
+    let block = self / n_inner in
+    Array.of_list
+      (List.filter
+         (fun u -> u <> self)
+         (List.init n_inner (fun j -> (block * n_inner) + j)))
+  in
+  (* Fixed links for the oblivious variant: one draw per node, reused
+     every round (Corollary 5). *)
+  let fixed_links =
+    match king_mode with
+    | Predicted -> [||]
+    | All_kings ->
+      let link_rng = Stdx.Rng.create links_seed in
+      Array.init big_n (fun _ ->
+          let block_samples =
+            Array.init (k * samples) (fun idx ->
+                let block = idx / samples in
+                (block * n_inner) + Stdx.Rng.int link_rng n_inner)
+          in
+          let pk_samples =
+            Array.init samples (fun _ -> Stdx.Rng.int link_rng big_n)
+          in
+          Array.concat
+            [ block_samples; pk_samples; Array.init kings (fun l -> l) ])
+  in
+  let pulls ~self ~rng (own : 's state) =
+    let peers = block_peers self in
+    match king_mode with
+    | All_kings -> Array.append peers fixed_links.(self)
+    | Predicted ->
+      let block_samples =
+        Array.init (k * samples) (fun idx ->
+            let block = idx / samples in
+            (block * n_inner) + Stdx.Rng.int rng n_inner)
+      in
+      let pk_samples =
+        Array.init samples (fun _ -> Stdx.Rng.int rng big_n)
+      in
+      let predicted = (own.prev_r + 1) mod tau in
+      let king =
+        if predicted mod 3 = 2 then [| predicted / 3 |] else [||]
+      in
+      Array.concat [ peers; block_samples; pk_samples; king ]
+  in
+  let transition ~self ~rng ~(own : 's state) ~responses =
+    let peer_count = n_inner - 1 in
+    let slot = self mod n_inner in
+    (* Block peers come first; rebuild the block's message vector. *)
+    let block_messages = Array.make n_inner own.inner in
+    for i = 0 to peer_count - 1 do
+      let target, (st : 's state) = responses.(i) in
+      block_messages.(target mod n_inner) <- st.inner
+    done;
+    block_messages.(slot) <- own.inner;
+    let inner' = inner.Algo.Spec.transition ~self:slot ~rng block_messages in
+    (* Leader vote from the per-block samples. *)
+    let sample_view idx =
+      let target, (st : 's state) = responses.(peer_count + idx) in
+      let block = target / n_inner in
+      let value = inner.Algo.Spec.output ~self:(target mod n_inner) st.inner in
+      (block, Counting.Counter_view.of_value view_params.(block) value)
+    in
+    let block_votes =
+      Array.init k (fun block ->
+          let ballots =
+            Array.init samples (fun s ->
+                let _, view = sample_view ((block * samples) + s) in
+                view.Counting.Counter_view.b)
+          in
+          Algo.Vote.majority_int ~default:0 ballots)
+    in
+    let leader = Algo.Vote.majority_int ~default:0 block_votes in
+    let r_ballots =
+      Array.init samples (fun s ->
+          let _, view = sample_view ((leader * samples) + s) in
+          view.Counting.Counter_view.r)
+    in
+    let r_value = Algo.Vote.majority_int ~default:0 r_ballots in
+    (* Phase-king step on the network-wide samples. *)
+    let pk_base = peer_count + (k * samples) in
+    let sampled_a =
+      List.init samples (fun s ->
+          let _, (st : 's state) = responses.(pk_base + s) in
+          st.a)
+    in
+    let king_a =
+      match king_mode with
+      | All_kings ->
+        let ell = Counting.Phase_king.king_of_index r_value in
+        let _, (st : 's state) = responses.(pk_base + samples + ell) in
+        st.a
+      | Predicted ->
+        let predicted = (own.prev_r + 1) mod tau in
+        if predicted = r_value && predicted mod 3 = 2 then begin
+          let _, (st : 's state) = responses.(pk_base + samples) in
+          st.a
+        end
+        else None
+    in
+    let reg =
+      step_sampled ~cap:big_c ~m:samples ~index:r_value
+        ~self:{ Counting.Phase_king.a = own.a; d = own.d }
+        ~sampled_a ~king_a
+    in
+    { inner = inner'; a = reg.Counting.Phase_king.a; d = reg.Counting.Phase_king.d; prev_r = r_value }
+  in
+  let pulls_per_round =
+    (n_inner - 1) + ((k + 1) * samples)
+    + (match king_mode with Predicted -> 1 | All_kings -> kings)
+  in
+  let random_state rng =
+    let raw = Stdx.Rng.int rng (big_c + 1) in
+    {
+      inner = inner.Algo.Spec.random_state rng;
+      a = (if raw = big_c then None else Some raw);
+      d = Stdx.Rng.bool rng;
+      prev_r = Stdx.Rng.int rng tau;
+    }
+  in
+  let pp_state ppf (s : 's state) =
+    let pp_a ppf = function
+      | None -> Format.pp_print_string ppf "inf"
+      | Some x -> Format.pp_print_int ppf x
+    in
+    Format.fprintf ppf "{inner=%a; a=%a; d=%d; r=%d}" inner.Algo.Spec.pp_state
+      s.inner pp_a s.a
+      (if s.d then 1 else 0)
+      s.prev_r
+  in
+  let equal_state (s1 : 's state) (s2 : 's state) =
+    inner.Algo.Spec.equal_state s1.inner s2.inner
+    && s1.a = s2.a && s1.d = s2.d && s1.prev_r = s2.prev_r
+  in
+  let variant =
+    match king_mode with Predicted -> "sampled" | All_kings -> "oblivious"
+  in
+  let spec =
+    Pull_spec.validate_exn
+      {
+        Pull_spec.name =
+          Printf.sprintf "%s-boost[k=%d,F=%d,C=%d,M=%d](%s)" variant k big_f
+            big_c samples inner.Algo.Spec.name;
+        n = big_n;
+        f = big_f;
+        c = big_c;
+        state_bits =
+          inner.Algo.Spec.state_bits
+          + Stdx.Imath.bits_for (big_c + 1)
+          + 1
+          + Stdx.Imath.bits_for tau;
+        deterministic = false;
+        equal_state;
+        pp_state;
+        random_state;
+        pulls;
+        transition;
+        output =
+          (fun ~self:_ (s : 's state) ->
+            match s.a with Some x -> x mod big_c | None -> 0);
+      }
+  in
+  { spec; params = { boost = p; samples; pulls_per_round }; inner }
+
+let construct ~inner ~k ~big_f ~big_c ~samples =
+  construct_gen ~king_mode:Predicted ~links_seed:0 ~inner ~k ~big_f ~big_c
+    ~samples
+
+let construct_oblivious ~inner ~k ~big_f ~big_c ~samples ~links_seed =
+  construct_gen ~king_mode:All_kings ~links_seed ~inner ~k ~big_f ~big_c
+    ~samples

@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Algo Array Int List Printf Stdx

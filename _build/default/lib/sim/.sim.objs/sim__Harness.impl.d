@@ -1,0 +1,1 @@
+lib/sim/harness.ml: Adversary Algo Format Int List Network Option Stabilise String

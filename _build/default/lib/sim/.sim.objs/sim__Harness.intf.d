@@ -1,0 +1,1 @@
+lib/sim/harness.mli: Adversary Algo Format Stabilise

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Adversary Algo Array Int List Printf Stdx

@@ -1,0 +1,1 @@
+lib/sim/stabilise.ml: Algo Array Format List Network

@@ -1,0 +1,1 @@
+lib/sim/stabilise.mli: Format Network

@@ -1,0 +1,271 @@
+type 's crafter = {
+  craft :
+    spec:'s Algo.Spec.t ->
+    rng:Stdx.Rng.t ->
+    round:int ->
+    states:'s array ->
+    faulty:int array ->
+    's array array;
+}
+
+type 's t = { name : string; fresh : unit -> 's crafter }
+
+let name t = t.name
+
+let is_faulty faulty v = Array.exists (fun u -> u = v) faulty
+
+let correct_ids n faulty =
+  Array.of_list
+    (List.filter (fun v -> not (is_faulty faulty v)) (List.init n (fun i -> i)))
+
+(* Build the message matrix by calling [msg ~fi ~sender ~recipient]. *)
+let matrix ~n ~faulty msg =
+  Array.mapi (fun fi sender -> Array.init n (fun r -> msg ~fi ~sender ~recipient:r)) faulty
+
+let benign () =
+  {
+    name = "benign";
+    fresh =
+      (fun () ->
+        {
+          craft =
+            (fun ~spec:_ ~rng:_ ~round:_ ~states ~faulty ->
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi:_ ~sender ~recipient:_ -> states.(sender)));
+        });
+  }
+
+let stuck () =
+  {
+    name = "stuck";
+    fresh =
+      (fun () ->
+        let frozen = ref None in
+        {
+          craft =
+            (fun ~spec:_ ~rng:_ ~round:_ ~states ~faulty ->
+              let frozen_states =
+                match !frozen with
+                | Some fs -> fs
+                | None ->
+                  let fs = Array.map (fun v -> states.(v)) faulty in
+                  frozen := Some fs;
+                  fs
+              in
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi ~sender:_ ~recipient:_ -> frozen_states.(fi)));
+        });
+  }
+
+let random_consistent () =
+  {
+    name = "random-consistent";
+    fresh =
+      (fun () ->
+        {
+          craft =
+            (fun ~spec ~rng ~round:_ ~states ~faulty ->
+              let per_round = Array.map (fun _ -> spec.Algo.Spec.random_state rng) faulty in
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi ~sender:_ ~recipient:_ -> per_round.(fi)));
+        });
+  }
+
+let random_equivocate () =
+  {
+    name = "random-equivocate";
+    fresh =
+      (fun () ->
+        {
+          craft =
+            (fun ~spec ~rng ~round:_ ~states ~faulty ->
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi:_ ~sender:_ ~recipient:_ -> spec.Algo.Spec.random_state rng));
+        });
+  }
+
+let mimic ~offset () =
+  {
+    name = Printf.sprintf "mimic(+%d)" offset;
+    fresh =
+      (fun () ->
+        {
+          craft =
+            (fun ~spec:_ ~rng:_ ~round ~states ~faulty ->
+              let correct = correct_ids (Array.length states) faulty in
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi ~sender:_ ~recipient:_ ->
+                  let victim =
+                    correct.((fi + offset + round) mod Array.length correct)
+                  in
+                  states.(victim)));
+        });
+  }
+
+let split_brain () =
+  {
+    name = "split-brain";
+    fresh =
+      (fun () ->
+        {
+          craft =
+            (fun ~spec:_ ~rng:_ ~round:_ ~states ~faulty ->
+              let correct = correct_ids (Array.length states) faulty in
+              let a = correct.(0) in
+              let b = correct.(Array.length correct - 1) in
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi:_ ~sender:_ ~recipient ->
+                  if recipient mod 2 = 0 then states.(a) else states.(b)));
+        });
+  }
+
+(* Bounded history of past state vectors, newest first. *)
+let history_nth history ~delay ~fallback =
+  let rec nth i = function
+    | [] -> fallback
+    | h :: t -> if i = 0 then h else nth (i - 1) t
+  in
+  nth delay !history
+
+let history_push history ~keep states =
+  let rec take i = function
+    | [] -> []
+    | h :: t -> if i = 0 then [] else h :: take (i - 1) t
+  in
+  history := take keep (Array.copy states :: !history)
+
+let stale ~delay () =
+  {
+    name = Printf.sprintf "stale(%d)" delay;
+    fresh =
+      (fun () ->
+        let history = ref [] in
+        {
+          craft =
+            (fun ~spec:_ ~rng:_ ~round:_ ~states ~faulty ->
+              history_push history ~keep:(delay + 1) states;
+              let old = history_nth history ~delay ~fallback:states in
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi:_ ~sender ~recipient:_ -> old.(sender)));
+        });
+  }
+
+let replay_correct ~delay () =
+  {
+    name = Printf.sprintf "replay-correct(%d)" delay;
+    fresh =
+      (fun () ->
+        let history = ref [] in
+        {
+          craft =
+            (fun ~spec:_ ~rng:_ ~round:_ ~states ~faulty ->
+              history_push history ~keep:(delay + 1) states;
+              let old = history_nth history ~delay ~fallback:states in
+              let correct = correct_ids (Array.length states) faulty in
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi ~sender:_ ~recipient:_ ->
+                  old.(correct.(fi mod Array.length correct))));
+        });
+  }
+
+let flip_flop () =
+  {
+    name = "flip-flop";
+    fresh =
+      (fun () ->
+        let pair = ref None in
+        {
+          craft =
+            (fun ~spec ~rng ~round ~states ~faulty ->
+              let s0, s1 =
+                match !pair with
+                | Some p -> p
+                | None ->
+                  let p = (spec.Algo.Spec.random_state rng, spec.Algo.Spec.random_state rng) in
+                  pair := Some p;
+                  p
+              in
+              matrix ~n:(Array.length states) ~faulty
+                (fun ~fi:_ ~sender:_ ~recipient ->
+                  let phase = (round + recipient) mod 2 in
+                  if phase = 0 then s0 else s1));
+        });
+  }
+
+(* Spread of a multiset of outputs: number of distinct values. *)
+let distinct_count compare values =
+  let sorted = List.sort_uniq compare values in
+  List.length sorted
+
+let greedy_confusion ~pool () =
+  {
+    name = Printf.sprintf "greedy-confusion(%d)" pool;
+    fresh =
+      (fun () ->
+        {
+          craft =
+            (fun ~spec ~rng ~round:_ ~states ~faulty ->
+              let n = Array.length states in
+              let correct = correct_ids n faulty in
+              let candidates =
+                Array.append
+                  (Array.map (fun v -> states.(v)) correct)
+                  (Array.init pool (fun _ -> spec.Algo.Spec.random_state rng))
+              in
+              (* For each recipient, simulate its transition assuming every
+                 other sender is truthful and score each candidate by how
+                 far the recipient's next output drifts from the current
+                 majority next-output. *)
+              let truthful_next r =
+                let received = Array.copy states in
+                let probe_rng = Stdx.Rng.split rng in
+                spec.Algo.Spec.transition ~self:r ~rng:probe_rng received
+              in
+              let baseline_outputs =
+                Array.to_list
+                  (Array.map
+                     (fun r -> spec.Algo.Spec.output ~self:r (truthful_next r))
+                     correct)
+              in
+              matrix ~n ~faulty (fun ~fi:_ ~sender ~recipient ->
+                  if is_faulty faulty recipient then states.(sender)
+                  else begin
+                    let best = ref candidates.(0) in
+                    let best_score = ref min_int in
+                    Array.iter
+                      (fun cand ->
+                        let received = Array.copy states in
+                        received.(sender) <- cand;
+                        let probe_rng = Stdx.Rng.split rng in
+                        let next =
+                          spec.Algo.Spec.transition ~self:recipient ~rng:probe_rng received
+                        in
+                        let o = spec.Algo.Spec.output ~self:recipient next in
+                        let score =
+                          distinct_count Int.compare (o :: baseline_outputs)
+                        in
+                        if score > !best_score then begin
+                          best_score := score;
+                          best := cand
+                        end)
+                      candidates;
+                    !best
+                  end));
+        });
+  }
+
+let standard_suite () =
+  [
+    benign ();
+    stuck ();
+    random_consistent ();
+    random_equivocate ();
+    mimic ~offset:1 ();
+    split_brain ();
+    stale ~delay:3 ();
+    replay_correct ~delay:2 ();
+    flip_flop ();
+  ]
+
+let hostile_suite () =
+  List.filter (fun a -> a.name <> "benign") (standard_suite ())

@@ -1,0 +1,88 @@
+(** Byzantine adversary strategies.
+
+    Section 2: up to [f] nodes are Byzantine and may exhibit arbitrary
+    behaviour, *including sending different messages to every node* in
+    the same round. The simulator is a full-information adversary
+    playground: each round the strategy sees the true states of all nodes
+    and fabricates, for every faulty sender, one message per recipient.
+
+    Strategies are generic in the state type: they fabricate messages only
+    through the spec's [random_state], by replaying true states of other
+    nodes (current or past), or by simulating recipients' transitions.
+    This is exactly the power a real adversary has without knowing the
+    state type's internal semantics, and it is enough to break naive
+    algorithms (see the ablation benches). *)
+
+type 's crafter = {
+  craft :
+    spec:'s Algo.Spec.t ->
+    rng:Stdx.Rng.t ->
+    round:int ->
+    states:'s array ->
+    faulty:int array ->
+    's array array;
+      (** [craft ... ] returns [msgs] with [msgs.(fi).(r)] = the message
+          the [fi]-th faulty node sends to recipient [r] this round. *)
+}
+
+type 's t = {
+  name : string;
+  fresh : unit -> 's crafter;
+      (** A new stateful crafter per run (history buffers etc.). *)
+}
+
+val name : 's t -> string
+
+val benign : unit -> 's t
+(** Faulty nodes behave exactly like correct ones. *)
+
+val stuck : unit -> 's t
+(** Crash-like: faulty nodes keep broadcasting the state they held when
+    the run started (a stuck register in the circuit interpretation). *)
+
+val random_consistent : unit -> 's t
+(** Each faulty node draws a fresh random state each round and sends it to
+    everyone (non-equivocating noise). *)
+
+val random_equivocate : unit -> 's t
+(** Each faulty node sends an independent random state to every recipient
+    every round — the max-entropy Byzantine strategy. *)
+
+val mimic : offset:int -> unit -> 's t
+(** Each faulty node impersonates a correct node (chosen by rotating over
+    correct ids with [offset]), sending that node's true current state.
+    Creates plausible-but-duplicated views. *)
+
+val split_brain : unit -> 's t
+(** Equivocation attack: recipients with even id receive the current
+    state of one correct node, odd ids that of another — the classic
+    strategy to drive two halves of the network apart. *)
+
+val stale : delay:int -> unit -> 's t
+(** Replay the faulty node's own true state from [delay] rounds ago
+    (a frozen/laggy subsystem). *)
+
+val replay_correct : delay:int -> unit -> 's t
+(** Replay a *correct* node's state from [delay] rounds ago: stale but
+    internally consistent information. *)
+
+val flip_flop : unit -> 's t
+(** Alternate between two random states drawn once at the start, switching
+    every round; recipients with odd id see the phase inverted. *)
+
+val greedy_confusion : pool:int -> unit -> 's t
+(** One-step lookahead attack: for each recipient, pick from a candidate
+    pool (true states of all correct nodes plus [pool] random states) the
+    message that, assuming everyone else tells the truth, maximises the
+    spread of next-round outputs among correct nodes. The strongest
+    generic strategy in the suite; costs O(pool * n * transition) per
+    faulty node per round. *)
+
+val standard_suite : unit -> 's t list
+(** The adversaries used by tests and experiments: benign, stuck,
+    random_consistent, random_equivocate, mimic, split_brain, stale,
+    replay_correct, flip_flop. (Excludes [greedy_confusion], which is run
+    separately because of its cost.) *)
+
+val hostile_suite : unit -> 's t list
+(** [standard_suite] minus [benign]. *)

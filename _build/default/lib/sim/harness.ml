@@ -1,0 +1,97 @@
+type outcome = {
+  adversary : string;
+  faulty : int list;
+  seed : int;
+  verdict : Stabilise.verdict;
+}
+
+type aggregate = {
+  outcomes : outcome list;
+  all_stabilized : bool;
+  worst : int option;
+  times : int list;
+}
+
+let spread_fault_set ~n ~f =
+  if f = 0 then []
+  else List.init f (fun i -> i * n / f)
+
+let default_fault_sets ~n ~f =
+  if f = 0 then [ [] ]
+  else begin
+    let prefix = List.init f (fun i -> i) in
+    let suffix = List.init f (fun i -> n - 1 - i) in
+    let spread = spread_fault_set ~n ~f in
+    let singles = if f >= 1 then [ [ 0 ]; [ n / 2 ] ] else [] in
+    let candidates = ([] :: prefix :: suffix :: spread :: singles) in
+    List.sort_uniq compare (List.map (List.sort_uniq Int.compare) candidates)
+  end
+
+let aggregate_of outcomes =
+  let times =
+    List.filter_map
+      (fun o ->
+        match o.verdict with
+        | Stabilise.Stabilized t -> Some t
+        | Stabilise.Not_stabilized -> None)
+      outcomes
+  in
+  let all_stabilized =
+    outcomes <> [] && List.length times = List.length outcomes
+  in
+  let worst =
+    if all_stabilized then Some (List.fold_left max 0 times) else None
+  in
+  { outcomes; all_stabilized; worst; times }
+
+let sweep ?fault_sets ?seeds ?min_suffix ~(spec : 's Algo.Spec.t) ~adversaries
+    ~rounds () =
+  let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
+  let fault_sets =
+    match fault_sets with Some fs -> fs | None -> default_fault_sets ~n ~f
+  in
+  let seeds = match seeds with Some s -> s | None -> [ 1; 2; 3; 4; 5 ] in
+  let min_suffix =
+    let default = max (2 * spec.Algo.Spec.c) 16 in
+    let requested = Option.value min_suffix ~default in
+    min requested (max 1 (rounds / 4))
+  in
+  let outcomes =
+    List.concat_map
+      (fun adversary ->
+        List.concat_map
+          (fun faulty ->
+            List.map
+              (fun seed ->
+                let run =
+                  Network.run ~spec ~adversary ~faulty ~rounds ~seed ()
+                in
+                {
+                  adversary = Adversary.name adversary;
+                  faulty;
+                  seed;
+                  verdict = Stabilise.of_run ~min_suffix run;
+                })
+              seeds)
+          fault_sets)
+      adversaries
+  in
+  aggregate_of outcomes
+
+let pp_aggregate ppf agg =
+  let failures =
+    List.filter
+      (fun o -> o.verdict = Stabilise.Not_stabilized)
+      agg.outcomes
+  in
+  Format.fprintf ppf "%d runs, %d failures" (List.length agg.outcomes)
+    (List.length failures);
+  (match agg.worst with
+  | Some w -> Format.fprintf ppf ", worst stabilisation %d" w
+  | None -> ());
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "@.  FAILED: %s faulty=[%s] seed=%d" o.adversary
+        (String.concat ";" (List.map string_of_int o.faulty))
+        o.seed)
+    failures

@@ -1,0 +1,40 @@
+(** Experiment sweeps: run a spec against a matrix of adversaries, fault
+    sets and seeds, and aggregate stabilisation statistics. This is the
+    engine behind the Table 1 / Theorem 1 measurement benches. *)
+
+type outcome = {
+  adversary : string;
+  faulty : int list;
+  seed : int;
+  verdict : Stabilise.verdict;
+}
+
+type aggregate = {
+  outcomes : outcome list;
+  all_stabilized : bool;
+  worst : int option;  (** max stabilisation time, [None] if any failure or no runs *)
+  times : int list;  (** stabilisation times of the successful runs *)
+}
+
+val default_fault_sets : n:int -> f:int -> int list list
+(** A deterministic selection of fault sets: the empty set, [f] prefix
+    nodes, [f] suffix nodes, an evenly spread set, and single-node sets.
+    Exhaustive enumeration is left to the model checker. *)
+
+val spread_fault_set : n:int -> f:int -> int list
+(** [f] ids spread evenly over [\[0, n)]. *)
+
+val sweep :
+  ?fault_sets:int list list ->
+  ?seeds:int list ->
+  ?min_suffix:int ->
+  spec:'s Algo.Spec.t ->
+  adversaries:'s Adversary.t list ->
+  rounds:int ->
+  unit ->
+  aggregate
+(** Runs every (adversary, fault set, seed) combination. [seeds] defaults
+    to [\[1..5\]], [min_suffix] to [max (2 * c) 16] capped by the horizon,
+    [fault_sets] to [default_fault_sets]. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

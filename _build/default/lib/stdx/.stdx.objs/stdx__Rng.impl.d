@@ -1,0 +1,1 @@
+lib/stdx/rng.ml: Array Hashtbl Int64 List

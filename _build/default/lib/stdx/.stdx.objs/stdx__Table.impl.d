@@ -1,0 +1,1 @@
+lib/stdx/table.ml: Array Float Format List Printf String

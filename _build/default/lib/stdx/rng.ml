@@ -1,0 +1,76 @@
+type t = { mutable s : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { s = mix (Int64.of_int seed) }
+
+let copy t = { s = t.s }
+
+let next_int64 t =
+  t.s <- Int64.add t.s golden_gamma;
+  mix t.s
+
+let split t = { s = next_int64 t }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound = 1 then 0
+  else begin
+    (* Rejection sampling over 61 bits (OCaml native ints are 63-bit, so
+       1 lsl 61 is still a positive int) to avoid modulo bias. *)
+    let range = 1 lsl 61 in
+    if bound > range then invalid_arg "Rng.int: bound too large";
+    let threshold = range - (range mod bound) in
+    let rec loop () =
+      let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 3) in
+      if r < threshold then r mod bound else loop ()
+    in
+    loop ()
+  end
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected time, no O(n) allocation. *)
+  let seen = Hashtbl.create (2 * k) in
+  let acc = ref [] in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    let v = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen v ();
+    acc := v :: !acc
+  done;
+  !acc
+
+let sample_with_replacement t k n =
+  if k < 0 then invalid_arg "Rng.sample_with_replacement";
+  List.init k (fun _ -> int t n)

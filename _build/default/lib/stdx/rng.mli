@@ -1,0 +1,54 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    The implementation is SplitMix64 (Steele, Lea, Flood 2014). All
+    randomness in the repository — arbitrary initial states, Byzantine
+    message fabrication, sampling in the pulling model — flows through
+    this module so that every experiment is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Equal
+    seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator; the copy and the original then
+    evolve independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it.
+    Streams of the parent and the child are statistically independent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** 30 uniformly random non-negative bits, as in [Random.bits]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct values from
+    [\[0, n)]. Raises [Invalid_argument] if [k > n] or [k < 0]. *)
+
+val sample_with_replacement : t -> int -> int -> int list
+(** [sample_with_replacement t k n] draws [k] values uniformly (multiset)
+    from [\[0, n)]. *)

@@ -1,0 +1,86 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let check_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty input")
+  | _ -> ()
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  match xs with
+  | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let percentile p xs =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then a.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. a.(lo)) +. (w *. a.(hi))
+
+let summarize xs =
+  check_nonempty "Stats.summarize" xs;
+  {
+    count = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = List.fold_left min infinity xs;
+    max = List.fold_left max neg_infinity xs;
+    median = percentile 0.5 xs;
+    p90 = percentile 0.9 xs;
+    p99 = percentile 0.99 xs;
+  }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.0f med=%.1f p90=%.1f p99=%.1f max=%.0f"
+    s.count s.mean s.stddev s.min s.median s.p90 s.p99 s.max
+
+let histogram ~bins xs =
+  check_nonempty "Stats.histogram" xs;
+  if bins < 1 then invalid_arg "Stats.histogram: bins < 1";
+  let lo = List.fold_left min infinity xs in
+  let hi = List.fold_left max neg_infinity xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let bin_of x =
+    let b = int_of_float ((x -. lo) /. width) in
+    if b >= bins then bins - 1 else if b < 0 then 0 else b
+  in
+  List.iter (fun x -> counts.(bin_of x) <- counts.(bin_of x) + 1) xs;
+  Array.mapi
+    (fun i c ->
+      let l = lo +. (float_of_int i *. width) in
+      (l, l +. width, c))
+    counts
+
+let fraction pred xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let hits = List.length (List.filter pred xs) in
+    float_of_int hits /. float_of_int (List.length xs)

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_algo Test_boost Test_counter_view Test_mc Test_phase_king Test_plan Test_pulling Test_rand_counter Test_sim Test_stdx

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Algo Array Counting Gen Hashtbl Int List Option QCheck QCheck_alcotest Result Stdx String

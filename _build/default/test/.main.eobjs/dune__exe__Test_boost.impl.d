@@ -1,0 +1,1 @@
+test/test_boost.ml: Alcotest Algo Array Counting List Result Sim Stdx String

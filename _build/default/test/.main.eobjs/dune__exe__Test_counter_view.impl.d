@@ -1,0 +1,1 @@
+test/test_counter_view.ml: Alcotest Array Counting List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_phase_king.ml: Alcotest Array Counting List Printf QCheck QCheck_alcotest Stdx

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Algo Astring Counting List Printf Result Stdx

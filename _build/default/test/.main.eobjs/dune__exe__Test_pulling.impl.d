@@ -1,0 +1,1 @@
+test/test_pulling.ml: Alcotest Array Counting Format Int List Printf Pulling Sim Stdx

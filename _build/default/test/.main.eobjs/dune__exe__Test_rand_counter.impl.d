@@ -1,0 +1,1 @@
+test/test_rand_counter.ml: Alcotest Algo Counting List Sim Stdx

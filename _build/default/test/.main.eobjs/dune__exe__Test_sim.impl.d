@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Algo Array Counting List QCheck QCheck_alcotest Sim Stdx

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Astring Fun Gen List QCheck QCheck_alcotest Stdx String

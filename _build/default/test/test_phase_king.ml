@@ -1,0 +1,305 @@
+(* Tests for the phase-king instruction sets (Table 2): Lemma 4
+   (agreement establishment), Lemma 5 (agreement persistence), and the
+   one-shot consensus baseline. *)
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let reg a d = { Counting.Phase_king.a; d }
+
+(* A fabricator driven by a seeded rng: arbitrary, per-recipient values. *)
+let random_fabricator ~cap seed =
+  let rng = Stdx.Rng.create seed in
+  fun ~round:_ ~recipient:_ ~faulty:_ ->
+    let raw = Stdx.Rng.int rng (cap + 2) in
+    if raw >= cap then None else Some raw
+
+let silent_fabricator ~round:_ ~recipient:_ ~faulty:_ = None
+
+(* ------------------------------------------------------------------ *)
+(* step: basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_tau () =
+  check Alcotest.int "tau(F=3) = 15" 15 (Counting.Phase_king.tau ~big_f:3);
+  check Alcotest.int "tau(F=0) = 6" 6 (Counting.Phase_king.tau ~big_f:0)
+
+let test_king_of_index () =
+  check Alcotest.int "I_0..I_2 belong to king 0" 0 (Counting.Phase_king.king_of_index 2);
+  check Alcotest.int "I_3 belongs to king 1" 1 (Counting.Phase_king.king_of_index 3)
+
+let test_increment () =
+  check (Alcotest.option Alcotest.int) "wraps" (Some 0)
+    (Counting.Phase_king.increment ~cap:4 (Some 3));
+  check (Alcotest.option Alcotest.int) "infinity fixed" None
+    (Counting.Phase_king.increment ~cap:4 None)
+
+let test_step_index_validation () =
+  let received = Array.make 4 (Some 0) in
+  check Alcotest.bool "index >= tau rejected" true
+    (try
+       ignore
+         (Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:9
+            ~self:(reg (Some 0) true) ~received);
+       false
+     with Invalid_argument _ -> true)
+
+let test_step_reset_on_low_support () =
+  (* I_0 with N = 4, F = 1: our value must be echoed by >= 3 nodes. *)
+  let received = [| Some 0; Some 1; Some 2; Some 2 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:0
+      ~self:(reg (Some 0) true) ~received
+  in
+  check (Alcotest.option Alcotest.int) "reset to infinity" None r.Counting.Phase_king.a
+
+let test_step_keeps_on_quorum () =
+  let received = [| Some 0; Some 0; Some 0; Some 2 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:0
+      ~self:(reg (Some 0) true) ~received
+  in
+  check (Alcotest.option Alcotest.int) "kept and incremented" (Some 1)
+    r.Counting.Phase_king.a
+
+let test_step_support_bit () =
+  let received = [| Some 1; Some 1; Some 1; Some 0 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:1
+      ~self:(reg (Some 1) false) ~received
+  in
+  check Alcotest.bool "d set on quorum" true r.Counting.Phase_king.d;
+  check (Alcotest.option Alcotest.int) "adopts smallest >F-supported, then ++"
+    (Some 2) r.Counting.Phase_king.a
+
+let test_step_adopts_min_supported () =
+  (* values 2 (x2) and 1 (x2): both clear the > F = 1 bar; min is 1. *)
+  let received = [| Some 2; Some 2; Some 1; Some 1 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:1
+      ~self:(reg (Some 2) false) ~received
+  in
+  check (Alcotest.option Alcotest.int) "min supported value + 1" (Some 2)
+    r.Counting.Phase_king.a
+
+let test_step_king_imposes () =
+  (* I_2: a = inf, so adopt king (node 0)'s value. *)
+  let received = [| Some 1; None; Some 2; Some 0 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:2
+      ~self:(reg None false) ~received
+  in
+  check (Alcotest.option Alcotest.int) "king value + 1" (Some 2)
+    r.Counting.Phase_king.a;
+  check Alcotest.bool "d raised" true r.Counting.Phase_king.d
+
+let test_step_king_ignored_when_confident () =
+  let received = [| Some 1; Some 2; Some 2; Some 2 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:2
+      ~self:(reg (Some 2) true) ~received
+  in
+  check (Alcotest.option Alcotest.int) "keeps own value + 1" (Some 0)
+    r.Counting.Phase_king.a
+
+let test_step_king_infinite_value () =
+  (* King shows infinity: imposed value is min{C, inf} = C, then +1 mod C. *)
+  let received = [| None; Some 1; Some 1; Some 1 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:2
+      ~self:(reg None false) ~received
+  in
+  check (Alcotest.option Alcotest.int) "C + 1 mod C" (Some 1)
+    r.Counting.Phase_king.a
+
+let test_step_clamps_out_of_range () =
+  (* A Byzantine node claiming a = 99 must count as the reset state. *)
+  let received = [| Some 0; Some 0; Some 99; Some 0 |] in
+  let r =
+    Counting.Phase_king.step ~cap:3 ~big_n:4 ~big_f:1 ~index:0
+      ~self:(reg (Some 0) true) ~received
+  in
+  check (Alcotest.option Alcotest.int) "quorum of three zeros still holds"
+    (Some 1) r.Counting.Phase_king.a
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 5: agreement persists under any instruction set and any
+   Byzantine values.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lemma5_once ~big_n ~big_f ~cap ~x ~index ~fabricator_seed =
+  let faulty = List.init big_f (fun i -> i) in
+  let init =
+    Array.init big_n (fun _ -> reg (Some x) true)
+  in
+  let trace =
+    Counting.Phase_king.run_registers ~cap ~big_f ~faulty
+      ~fabricator:(random_fabricator ~cap fabricator_seed)
+      ~init ~start_index:index ~rounds:1
+  in
+  Counting.Phase_king.agreement ~cap ~faulty trace.(1)
+
+let test_lemma5_all_indices () =
+  let big_f = 2 and big_n = 8 and cap = 5 in
+  for index = 0 to Counting.Phase_king.tau ~big_f - 1 do
+    match lemma5_once ~big_n ~big_f ~cap ~x:3 ~index ~fabricator_seed:index with
+    | Some v ->
+      check Alcotest.int
+        (Printf.sprintf "I_%d preserves agreement and increments" index)
+        4 v
+    | None -> Alcotest.failf "agreement lost after I_%d" index
+  done
+
+let test_lemma5_property =
+  qcheck ~count:300 "Lemma 5: agreement persists under random adversaries"
+    QCheck.(quad (int_range 0 4) (int_range 0 14) small_int (int_range 2 6))
+    (fun (x, index, seed, cap) ->
+      let big_f = 3 in
+      let index = index mod Counting.Phase_king.tau ~big_f in
+      let x = x mod cap in
+      let big_n = 10 in
+      match lemma5_once ~big_n ~big_f ~cap ~x ~index ~fabricator_seed:seed with
+      | Some v -> v = (x + 1) mod cap
+      | None -> false)
+
+let test_lemma5_many_rounds () =
+  (* Persistence composes: 100 consecutive rounds of arbitrary indices. *)
+  let big_f = 1 and cap = 4 and big_n = 4 in
+  let faulty = [ 2 ] in
+  let init = Array.init big_n (fun _ -> reg (Some 0) true) in
+  let trace =
+    Counting.Phase_king.run_registers ~cap ~big_f ~faulty
+      ~fabricator:(random_fabricator ~cap 99)
+      ~init ~start_index:0 ~rounds:100
+  in
+  for t = 0 to 100 do
+    match Counting.Phase_king.agreement ~cap ~faulty trace.(t) with
+    | Some v ->
+      check Alcotest.int (Printf.sprintf "round %d counts" t) (t mod cap) v
+    | None -> Alcotest.failf "agreement lost at round %d" t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4: a full 3-round block of a non-faulty king establishes
+   agreement from arbitrary register states.                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_regs ~big_n ~cap seed =
+  let rng = Stdx.Rng.create seed in
+  Array.init big_n (fun _ ->
+      let raw = Stdx.Rng.int rng (cap + 1) in
+      reg (if raw = cap then None else Some raw) (Stdx.Rng.bool rng))
+
+let lemma4_once ~big_n ~big_f ~cap ~ell ~init_seed ~fab_seed =
+  let faulty = List.init big_f (fun i -> big_n - 1 - i) in
+  (* kings 0..F+1 are all non-faulty here; run I_{3l}, I_{3l+1}, I_{3l+2} *)
+  let init = random_regs ~big_n ~cap init_seed in
+  let trace =
+    Counting.Phase_king.run_registers ~cap ~big_f ~faulty
+      ~fabricator:(random_fabricator ~cap fab_seed)
+      ~init ~start_index:(3 * ell) ~rounds:3
+  in
+  Counting.Phase_king.agreement ~cap ~faulty trace.(3)
+
+let test_lemma4_property =
+  qcheck ~count:300 "Lemma 4: non-faulty king's block establishes agreement"
+    QCheck.(triple (int_range 0 3) small_int small_int)
+    (fun (ell, init_seed, fab_seed) ->
+      let big_n = 7 and big_f = 2 and cap = 5 in
+      match lemma4_once ~big_n ~big_f ~cap ~ell ~init_seed ~fab_seed with
+      | Some _ -> true
+      | None -> false)
+
+let test_lemma4_silent_adversary () =
+  let big_n = 7 and big_f = 2 and cap = 5 in
+  for ell = 0 to big_f + 1 do
+    match
+      let faulty = [ 5; 6 ] in
+      let init = random_regs ~big_n ~cap (ell + 1) in
+      let trace =
+        Counting.Phase_king.run_registers ~cap ~big_f ~faulty
+          ~fabricator:silent_fabricator ~init ~start_index:(3 * ell) ~rounds:3
+      in
+      Counting.Phase_king.agreement ~cap ~faulty trace.(3)
+    with
+    | Some _ -> ()
+    | None -> Alcotest.failf "silent adversary defeats king %d" ell
+  done
+
+(* ------------------------------------------------------------------ *)
+(* One-shot consensus baseline                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_one_shot_validity () =
+  (* all honest nodes start with the same value: must decide it *)
+  let inputs = [| 2; 2; 2; 2; 2; 2; 2 |] in
+  let decisions =
+    Counting.Phase_king.one_shot ~cap:4 ~big_f:2 ~faulty:[ 0; 3 ]
+      ~fabricator:(random_fabricator ~cap:4 7) ~inputs
+  in
+  List.iter
+    (fun v -> check Alcotest.int "validity" 2 decisions.(v))
+    [ 1; 2; 4; 5; 6 ]
+
+let test_one_shot_agreement =
+  qcheck ~count:300 "one-shot consensus: agreement under random adversaries"
+    QCheck.(pair small_int small_int)
+    (fun (input_seed, fab_seed) ->
+      let big_n = 7 and big_f = 2 and cap = 4 in
+      let rng = Stdx.Rng.create input_seed in
+      let inputs = Array.init big_n (fun _ -> Stdx.Rng.int rng cap) in
+      let faulty = [ 1; 4 ] in
+      let decisions =
+        Counting.Phase_king.one_shot ~cap ~big_f ~faulty
+          ~fabricator:(random_fabricator ~cap fab_seed) ~inputs
+      in
+      let correct = [ 0; 2; 3; 5; 6 ] in
+      match correct with
+      | [] -> true
+      | v0 :: rest -> List.for_all (fun v -> decisions.(v) = decisions.(v0)) rest)
+
+let test_one_shot_no_faults () =
+  let inputs = [| 3; 1; 2; 0 |] in
+  let decisions =
+    Counting.Phase_king.one_shot ~cap:4 ~big_f:1 ~faulty:[]
+      ~fabricator:silent_fabricator ~inputs
+  in
+  let v0 = decisions.(0) in
+  Array.iter (fun v -> check Alcotest.int "agreement" v0 v) decisions
+
+let suite =
+  [
+    ( "phase_king.step",
+      [
+        case "tau" test_tau;
+        case "king_of_index" test_king_of_index;
+        case "increment" test_increment;
+        case "index validation" test_step_index_validation;
+        case "I_3l resets on low support" test_step_reset_on_low_support;
+        case "I_3l keeps on quorum" test_step_keeps_on_quorum;
+        case "I_3l+1 support bit" test_step_support_bit;
+        case "I_3l+1 adopts min supported" test_step_adopts_min_supported;
+        case "I_3l+2 king imposes" test_step_king_imposes;
+        case "I_3l+2 king ignored when confident" test_step_king_ignored_when_confident;
+        case "I_3l+2 with infinite king" test_step_king_infinite_value;
+        case "out-of-range claims clamped" test_step_clamps_out_of_range;
+      ] );
+    ( "phase_king.lemma5",
+      [
+        case "all instruction sets" test_lemma5_all_indices;
+        test_lemma5_property;
+        case "persists over 100 rounds" test_lemma5_many_rounds;
+      ] );
+    ( "phase_king.lemma4",
+      [ test_lemma4_property; case "silent adversary" test_lemma4_silent_adversary ]
+    );
+    ( "phase_king.one_shot",
+      [
+        case "validity" test_one_shot_validity;
+        test_one_shot_agreement;
+        case "no faults" test_one_shot_no_faults;
+      ] );
+  ]

@@ -1,0 +1,324 @@
+(* Tests for the broadcast simulator, adversaries, and stabilisation
+   detection. *)
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let leader = Counting.Trivial.follow_leader ~n:4 ~c:5
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_shapes () =
+  let run =
+    Sim.Network.run ~spec:leader ~adversary:(Sim.Adversary.benign ()) ~faulty:[]
+      ~rounds:10 ~seed:1 ()
+  in
+  check Alcotest.int "rounds+1 state rows" 11 (Array.length run.Sim.Network.states);
+  check Alcotest.int "rounds+1 output rows" 11 (Array.length run.Sim.Network.outputs);
+  check Alcotest.int "n columns" 4 (Array.length run.Sim.Network.states.(0));
+  check Alcotest.int "messages per round" 12 run.Sim.Network.messages_per_round;
+  check Alcotest.int "bits per round" (12 * leader.Algo.Spec.state_bits)
+    run.Sim.Network.bits_per_round
+
+let test_run_reproducible () =
+  let go () =
+    Sim.Network.run ~spec:leader ~adversary:(Sim.Adversary.benign ()) ~faulty:[]
+      ~rounds:20 ~seed:7 ()
+  in
+  check
+    (Alcotest.array (Alcotest.array Alcotest.int))
+    "same seed, same outputs" (go ()).Sim.Network.outputs (go ()).Sim.Network.outputs
+
+let test_run_seed_matters () =
+  let go seed =
+    (Sim.Network.run ~spec:leader ~adversary:(Sim.Adversary.benign ()) ~faulty:[]
+       ~rounds:5 ~seed ())
+      .Sim.Network.outputs
+  in
+  check Alcotest.bool "different seeds give different initial states" true
+    (go 1 <> go 2)
+
+let test_run_explicit_init () =
+  let run =
+    Sim.Network.run ~init:[| 0; 0; 0; 0 |] ~spec:leader
+      ~adversary:(Sim.Adversary.benign ()) ~faulty:[] ~rounds:3 ~seed:1 ()
+  in
+  check (Alcotest.array Alcotest.int) "init respected" [| 0; 0; 0; 0 |]
+    run.Sim.Network.states.(0);
+  check (Alcotest.array Alcotest.int) "counts from init" [| 1; 1; 1; 1 |]
+    run.Sim.Network.states.(1)
+
+let test_run_rejects_bad_faulty () =
+  let boom f = ignore (Sim.Network.run ~spec:leader ~adversary:(Sim.Adversary.benign ()) ~faulty:f ~rounds:1 ~seed:1 ()) in
+  check Alcotest.bool "duplicate rejected" true
+    (try boom [ 1; 1 ]; false with Invalid_argument _ -> true);
+  check Alcotest.bool "out of range rejected" true
+    (try boom [ 9 ]; false with Invalid_argument _ -> true);
+  check Alcotest.bool "too many rejected (f = 0)" true
+    (try boom [ 1 ]; false with Invalid_argument _ -> true)
+
+let test_probe_sees_every_round () =
+  let seen = ref [] in
+  ignore
+    (Sim.Network.run
+       ~probe:(fun ~round ~states:_ -> seen := round :: !seen)
+       ~spec:leader ~adversary:(Sim.Adversary.benign ()) ~faulty:[] ~rounds:5
+       ~seed:1 ());
+  check (Alcotest.list Alcotest.int) "probed rounds 0..5" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !seen)
+
+let test_correct_ids () =
+  let spec = Counting.Rand_counter.make ~n:7 ~f:2 in
+  let run =
+    Sim.Network.run ~spec ~adversary:(Sim.Adversary.benign ()) ~faulty:[ 2; 5 ]
+      ~rounds:1 ~seed:1 ()
+  in
+  check (Alcotest.list Alcotest.int) "correct ids" [ 0; 1; 3; 4; 6 ]
+    (Sim.Network.correct_ids run)
+
+(* Faulty nodes cannot influence correct nodes beyond their messages: a
+   benign adversary must produce the same run as no faulty set at all. *)
+let test_benign_equals_faultless () =
+  let spec = Counting.Trivial.follow_leader ~n:5 ~c:3 in
+  let init = [| 2; 1; 0; 2; 1 |] in
+  let a =
+    Sim.Network.run ~init ~spec ~adversary:(Sim.Adversary.benign ())
+      ~faulty:[] ~rounds:10 ~seed:3 ()
+  in
+  let spec_f1 = Algo.Combinators.with_claimed_resilience spec ~f:1 in
+  let b =
+    Sim.Network.run ~init ~spec:spec_f1 ~adversary:(Sim.Adversary.benign ())
+      ~faulty:[ 4 ] ~rounds:10 ~seed:3 ()
+  in
+  check
+    (Alcotest.array (Alcotest.array Alcotest.int))
+    "same outputs" a.Sim.Network.outputs b.Sim.Network.outputs
+
+(* ------------------------------------------------------------------ *)
+(* Adversary strategies: shape and self-consistency                     *)
+(* ------------------------------------------------------------------ *)
+
+let craft_once adversary =
+  let spec = Algo.Combinators.with_claimed_resilience leader ~f:2 in
+  let crafter = adversary.Sim.Adversary.fresh () in
+  let rng = Stdx.Rng.create 5 in
+  let states = [| 0; 1; 2; 3 |] in
+  crafter.Sim.Adversary.craft ~spec ~rng ~round:0 ~states ~faulty:[| 1; 3 |]
+
+let test_adversary_matrix_shapes () =
+  List.iter
+    (fun adv ->
+      let msgs = craft_once adv in
+      check Alcotest.int
+        (Sim.Adversary.name adv ^ ": one row per faulty node")
+        2 (Array.length msgs);
+      Array.iter
+        (fun row ->
+          check Alcotest.int
+            (Sim.Adversary.name adv ^ ": one message per recipient")
+            4 (Array.length row))
+        msgs)
+    (Sim.Adversary.standard_suite ())
+
+let test_benign_sends_truth () =
+  let msgs = craft_once (Sim.Adversary.benign ()) in
+  check Alcotest.int "faulty node 1 sends its state" 1 msgs.(0).(0);
+  check Alcotest.int "faulty node 3 sends its state" 3 msgs.(1).(2)
+
+let test_stuck_freezes () =
+  let adv = Sim.Adversary.stuck () in
+  let spec = Algo.Combinators.with_claimed_resilience leader ~f:1 in
+  let crafter = adv.Sim.Adversary.fresh () in
+  let rng = Stdx.Rng.create 5 in
+  let m0 =
+    crafter.Sim.Adversary.craft ~spec ~rng ~round:0 ~states:[| 7; 1; 2; 3 |]
+      ~faulty:[| 0 |]
+  in
+  let m1 =
+    crafter.Sim.Adversary.craft ~spec ~rng ~round:1 ~states:[| 9; 1; 2; 3 |]
+      ~faulty:[| 0 |]
+  in
+  check Alcotest.int "round 0 sends initial" 7 m0.(0).(1);
+  check Alcotest.int "round 1 still sends initial" 7 m1.(0).(1)
+
+let test_split_brain_splits () =
+  let msgs = craft_once (Sim.Adversary.split_brain ()) in
+  (* correct nodes are 0 and 2; even recipients see node 0's state, odd
+     recipients node 2's *)
+  check Alcotest.int "even recipient" 0 msgs.(0).(0);
+  check Alcotest.int "odd recipient" 2 msgs.(0).(1);
+  check Alcotest.bool "the two halves differ" true (msgs.(0).(0) <> msgs.(0).(1))
+
+let test_mimic_copies_correct () =
+  let msgs = craft_once (Sim.Adversary.mimic ~offset:1 ()) in
+  check Alcotest.bool "mimic sends some correct node's state" true
+    (Array.for_all (fun v -> v = 0 || v = 2) msgs.(0))
+
+let test_random_equivocate_varies () =
+  let adv = Sim.Adversary.random_equivocate () in
+  let spec = Algo.Combinators.with_claimed_resilience (Counting.Trivial.single ~c:1024) ~f:1 in
+  let crafter = adv.Sim.Adversary.fresh () in
+  let rng = Stdx.Rng.create 5 in
+  let msgs =
+    crafter.Sim.Adversary.craft ~spec ~rng ~round:0
+      ~states:(Array.make 8 0) ~faulty:[| 0 |]
+  in
+  let distinct = List.sort_uniq compare (Array.to_list msgs.(0)) in
+  check Alcotest.bool "equivocates (mostly distinct messages)" true
+    (List.length distinct > 1)
+
+let test_hostile_suite_excludes_benign () =
+  check Alcotest.bool "no benign in hostile suite" true
+    (List.for_all
+       (fun a -> Sim.Adversary.name a <> "benign")
+       (Sim.Adversary.hostile_suite ()))
+
+let test_greedy_confusion_runs () =
+  let adv = Sim.Adversary.greedy_confusion ~pool:2 () in
+  let msgs = craft_once adv in
+  check Alcotest.int "matrix shape" 2 (Array.length msgs)
+
+(* ------------------------------------------------------------------ *)
+(* Stabilisation detection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_outputs rows = Array.of_list (List.map Array.of_list rows)
+
+let test_stabilise_clean () =
+  let outputs = mk_outputs [ [ 0; 0 ]; [ 1; 1 ]; [ 2; 2 ]; [ 0; 0 ]; [ 1; 1 ] ] in
+  check Alcotest.bool "immediately counting" true
+    (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 0)
+       (Sim.Stabilise.of_outputs ~c:3 ~correct:[ 0; 1 ] ~min_suffix:2 outputs))
+
+let test_stabilise_with_prefix () =
+  let outputs =
+    mk_outputs
+      [ [ 2; 0 ]; [ 1; 1 ]; [ 0; 2 ]; [ 1; 1 ]; [ 2; 2 ]; [ 0; 0 ]; [ 1; 1 ] ]
+  in
+  check Alcotest.bool "stabilises at 3" true
+    (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 3)
+       (Sim.Stabilise.of_outputs ~c:3 ~correct:[ 0; 1 ] ~min_suffix:2 outputs))
+
+let test_stabilise_needs_increment () =
+  let outputs = mk_outputs [ [ 1; 1 ]; [ 1; 1 ]; [ 1; 1 ]; [ 1; 1 ] ] in
+  check Alcotest.bool "agreement without counting is not stabilisation" true
+    (Sim.Stabilise.equal_verdict Sim.Stabilise.Not_stabilized
+       (Sim.Stabilise.of_outputs ~c:3 ~correct:[ 0; 1 ] ~min_suffix:2 outputs))
+
+let test_stabilise_needs_agreement () =
+  let outputs = mk_outputs [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ]; [ 0; 1 ] ] in
+  check Alcotest.bool "counting without agreement is not stabilisation" true
+    (Sim.Stabilise.equal_verdict Sim.Stabilise.Not_stabilized
+       (Sim.Stabilise.of_outputs ~c:3 ~correct:[ 0; 1 ] ~min_suffix:2 outputs))
+
+let test_stabilise_min_suffix () =
+  let outputs = mk_outputs [ [ 0; 1 ]; [ 0; 0 ]; [ 1; 1 ]; [ 2; 2 ] ] in
+  check Alcotest.bool "clean suffix shorter than min_suffix is rejected" true
+    (Sim.Stabilise.equal_verdict Sim.Stabilise.Not_stabilized
+       (Sim.Stabilise.of_outputs ~c:3 ~correct:[ 0; 1 ] ~min_suffix:3 outputs));
+  check Alcotest.bool "and accepted when long enough" true
+    (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 1)
+       (Sim.Stabilise.of_outputs ~c:3 ~correct:[ 0; 1 ] ~min_suffix:2 outputs))
+
+let test_stabilise_ignores_faulty_columns () =
+  let outputs = mk_outputs [ [ 0; 9 ]; [ 1; 9 ]; [ 2; 9 ]; [ 0; 9 ] ] in
+  check Alcotest.bool "faulty output ignored" true
+    (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 0)
+       (Sim.Stabilise.of_outputs ~c:3 ~correct:[ 0 ] ~min_suffix:2 outputs))
+
+(* A synthetic generator: random garbage prefix followed by a clean
+   counting suffix; the detector must find the seam. *)
+let test_stabilise_finds_seam =
+  qcheck "detector finds the garbage/counting seam"
+    QCheck.(triple small_int (int_range 0 20) (int_range 5 30))
+    (fun (seed, garbage, clean) ->
+      let c = 4 in
+      let rng = Stdx.Rng.create seed in
+      let prefix =
+        List.init garbage (fun _ ->
+            [ Stdx.Rng.int rng c; Stdx.Rng.int rng c ])
+      in
+      let start = Stdx.Rng.int rng c in
+      let suffix = List.init clean (fun i -> [ (start + i) mod c; (start + i) mod c ]) in
+      let outputs = mk_outputs (prefix @ suffix) in
+      match Sim.Stabilise.of_outputs ~c ~correct:[ 0; 1 ] ~min_suffix:4 outputs with
+      | Sim.Stabilise.Stabilized t -> t <= garbage
+      | Sim.Stabilise.Not_stabilized -> clean - 1 < 4)
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_fault_sets () =
+  let sets = Sim.Harness.default_fault_sets ~n:8 ~f:2 in
+  check Alcotest.bool "contains empty set" true (List.mem [] sets);
+  check Alcotest.bool "all within resilience" true
+    (List.for_all (fun s -> List.length s <= 2) sets);
+  check Alcotest.bool "all ids valid" true
+    (List.for_all (List.for_all (fun v -> v >= 0 && v < 8)) sets)
+
+let test_spread_fault_set () =
+  check (Alcotest.list Alcotest.int) "spread over 12" [ 0; 4; 8 ]
+    (Sim.Harness.spread_fault_set ~n:12 ~f:3);
+  check (Alcotest.list Alcotest.int) "f=0 empty" []
+    (Sim.Harness.spread_fault_set ~n:12 ~f:0)
+
+let test_sweep_aggregates () =
+  let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
+  let agg =
+    Sim.Harness.sweep ~spec
+      ~adversaries:[ Sim.Adversary.benign () ]
+      ~seeds:[ 1; 2 ] ~rounds:30 ()
+  in
+  check Alcotest.bool "all stabilized" true agg.Sim.Harness.all_stabilized;
+  check Alcotest.int "2 runs (one fault set, two seeds)" 2
+    (List.length agg.Sim.Harness.outcomes);
+  check Alcotest.bool "worst bounded by trivial T" true
+    (match agg.Sim.Harness.worst with Some w -> w <= 1 | None -> false)
+
+let suite =
+  [
+    ( "sim.network",
+      [
+        case "run shapes" test_run_shapes;
+        case "reproducible" test_run_reproducible;
+        case "seed matters" test_run_seed_matters;
+        case "explicit init" test_run_explicit_init;
+        case "rejects bad faulty sets" test_run_rejects_bad_faulty;
+        case "probe sees every round" test_probe_sees_every_round;
+        case "correct ids" test_correct_ids;
+        case "benign equals faultless" test_benign_equals_faultless;
+      ] );
+    ( "sim.adversary",
+      [
+        case "matrix shapes" test_adversary_matrix_shapes;
+        case "benign sends truth" test_benign_sends_truth;
+        case "stuck freezes" test_stuck_freezes;
+        case "split-brain splits" test_split_brain_splits;
+        case "mimic copies correct nodes" test_mimic_copies_correct;
+        case "random equivocation varies" test_random_equivocate_varies;
+        case "hostile suite excludes benign" test_hostile_suite_excludes_benign;
+        case "greedy confusion runs" test_greedy_confusion_runs;
+      ] );
+    ( "sim.stabilise",
+      [
+        case "clean from start" test_stabilise_clean;
+        case "garbage prefix" test_stabilise_with_prefix;
+        case "agreement alone insufficient" test_stabilise_needs_increment;
+        case "counting alone insufficient" test_stabilise_needs_agreement;
+        case "min_suffix honoured" test_stabilise_min_suffix;
+        case "faulty columns ignored" test_stabilise_ignores_faulty_columns;
+        test_stabilise_finds_seam;
+      ] );
+    ( "sim.harness",
+      [
+        case "default fault sets" test_default_fault_sets;
+        case "spread fault set" test_spread_fault_set;
+        case "sweep aggregates" test_sweep_aggregates;
+      ] );
+  ]
