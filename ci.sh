@@ -1,0 +1,6 @@
+#!/bin/sh
+# Tier-1 verification: build everything and run the full test suite.
+set -eu
+cd "$(dirname "$0")"
+dune build
+dune runtest
