@@ -21,13 +21,104 @@ let a36_7 ~c =
   Counting.Boost.construct ~inner:(a12_3 ~c:1728).Counting.Boost.spec ~k:3
     ~big_f:7 ~big_c:c
 
-(* Worst observed stabilisation time over an adversary/fault/seed grid;
-   None when some run failed to stabilise. *)
-let measure_worst ?(seeds = [ 1; 2; 3 ]) ?(rounds = 4000) ~spec ~adversaries
-    ~fault_sets () =
-  let agg =
-    Sim.Harness.sweep ~fault_sets ~seeds ~spec ~adversaries ~rounds ()
+(* ------------------------------------------------------------------ *)
+(* Machine-readable sweep log: every harness sweep run by the benches is
+   recorded (per-run rounds simulated, verdict, early-exit round, and
+   wall-clock per sweep) and flushed to BENCH_sweep.json at exit, so the
+   early-exit speedup of the streaming engine lands in the repo's perf
+   trajectory next to the pretty tables. *)
+
+type sweep_record = {
+  label : string;
+  mode : string;
+  wall_s : float;
+  agg : Sim.Harness.aggregate;
+}
+
+let sweep_json_path = "BENCH_sweep.json"
+let sweep_records : sweep_record list ref = ref []
+let flush_registered = ref false
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_outcome (o : Sim.Harness.outcome) =
+  let verdict, at =
+    match o.Sim.Harness.verdict with
+    | Sim.Stabilise.Stabilized t -> ("stabilized", string_of_int t)
+    | Sim.Stabilise.Not_stabilized -> ("not-stabilized", "null")
   in
+  Printf.sprintf
+    "{\"adversary\":%S,\"faulty\":[%s],\"seed\":%d,\"verdict\":%S,\
+     \"stabilised_at\":%s,\"rounds_simulated\":%d,\"early_exit\":%b}"
+    o.Sim.Harness.adversary
+    (String.concat "," (List.map string_of_int o.Sim.Harness.faulty))
+    o.Sim.Harness.seed verdict at o.Sim.Harness.rounds_simulated
+    o.Sim.Harness.early_exit
+
+let json_of_record r =
+  let agg = r.agg in
+  let runs = List.length agg.Sim.Harness.outcomes in
+  let full = runs * agg.Sim.Harness.horizon in
+  Printf.sprintf
+    "    {\"label\":\"%s\",\"mode\":\"%s\",\"horizon\":%d,\"runs\":%d,\n\
+    \     \"total_rounds_simulated\":%d,\"full_horizon_rounds\":%d,\n\
+    \     \"wall_clock_s\":%.6f,\"worst\":%s,\"all_stabilized\":%b,\n\
+    \     \"outcomes\":[\n      %s\n     ]}"
+    (json_escape r.label) r.mode agg.Sim.Harness.horizon runs
+    agg.Sim.Harness.total_rounds_simulated full r.wall_s
+    (match agg.Sim.Harness.worst with
+    | Some w -> string_of_int w
+    | None -> "null")
+    agg.Sim.Harness.all_stabilized
+    (String.concat ",\n      "
+       (List.map json_of_outcome agg.Sim.Harness.outcomes))
+
+let flush_sweep_log () =
+  match List.rev !sweep_records with
+  | [] -> ()
+  | records ->
+    let oc = open_out sweep_json_path in
+    output_string oc "{\n  \"sweeps\": [\n";
+    output_string oc (String.concat ",\n" (List.map json_of_record records));
+    output_string oc "\n  ]\n}\n";
+    close_out oc;
+    Printf.printf "\n[%d sweep record(s) written to %s]\n"
+      (List.length records) sweep_json_path
+
+let record_sweep ~label ~mode ~wall_s agg =
+  if not !flush_registered then begin
+    flush_registered := true;
+    at_exit flush_sweep_log
+  end;
+  let mode =
+    match mode with
+    | Sim.Engine.Streaming -> "streaming"
+    | Sim.Engine.Full_horizon -> "full-horizon"
+  in
+  sweep_records := { label; mode; wall_s; agg } :: !sweep_records
+
+(* Worst observed stabilisation time over an adversary/fault/seed grid;
+   None when some run failed to stabilise. Runs on the streaming engine
+   (early exit) unless [mode] says otherwise; every call is recorded in
+   the sweep log. *)
+let measure_worst ?(seeds = [ 1; 2; 3 ]) ?(rounds = 4000)
+    ?(mode = Sim.Engine.Streaming) ?label ~spec ~adversaries ~fault_sets () =
+  let t0 = Unix.gettimeofday () in
+  let agg =
+    Sim.Harness.sweep ~fault_sets ~seeds ~mode ~spec ~adversaries ~rounds ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let label = match label with Some l -> l | None -> spec.Algo.Spec.name in
+  record_sweep ~label ~mode ~wall_s agg;
   (agg.Sim.Harness.worst, agg)
 
 let verdict_cell = function

@@ -81,16 +81,15 @@ let oblivious_sweep () =
               Pulling.Sampled.construct_oblivious ~inner ~k:3 ~big_f:3 ~big_c:8
                 ~samples ~links_seed:(500 + seed)
             in
-            let run =
-              Pulling.Pull_sim.run ~spec:s.Pulling.Sampled.spec
+            (* Streaming path: early-exits once 64 clean rounds are seen
+               instead of materialising all 3500 rows. *)
+            let stream =
+              Pulling.Pull_sim.run_stream ~min_suffix:64
+                ~spec:s.Pulling.Sampled.spec
                 ~responder:(Pulling.Pull_sim.random_responder ()) ~faulty
                 ~rounds:3500 ~seed ()
             in
-            if
-              Sim.Stabilise.of_outputs ~c:8
-                ~correct:(Pulling.Pull_sim.correct_ids run) ~min_suffix:64
-                run.Pulling.Pull_sim.outputs
-              <> Sim.Stabilise.Not_stabilized
+            if stream.Pulling.Pull_sim.verdict <> Sim.Stabilise.Not_stabilized
             then incr ok
           done;
           Bench_common.fraction_of_seeds ~seeds ~stabilised:!ok)

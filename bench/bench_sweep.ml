@@ -1,0 +1,66 @@
+(* Experiment S1: the streaming engine's early-exit saving, measured.
+
+   Runs the A(4,1) sweep (hostile adversary suite x fault sets x seeds,
+   4000-round horizon — the long-horizon configuration used across the
+   Table 1 / Theorem benches) twice: once on the full-horizon path and
+   once on the streaming early-exit path, checks that every verdict is
+   identical, and records both sweeps in BENCH_sweep.json. *)
+
+let run () =
+  Bench_common.section
+    "Streaming sweep - early exit vs full horizon on A(4,1), rounds = 4000";
+  let spec = (Bench_common.a41 ~c:2).Counting.Boost.spec in
+  let adversaries = Sim.Adversary.hostile_suite () in
+  let fault_sets = [ []; [ 0 ]; [ 2 ] ] in
+  let seeds = [ 1; 2; 3 ] in
+  let rounds = 4000 in
+  let go mode label =
+    let t0 = Unix.gettimeofday () in
+    let agg =
+      Sim.Harness.sweep ~fault_sets ~seeds ~mode ~spec ~adversaries ~rounds ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Bench_common.record_sweep ~label ~mode ~wall_s agg;
+    (agg, wall_s)
+  in
+  let full, wall_full = go Sim.Engine.Full_horizon "a41-sweep-full-horizon" in
+  let stream, wall_stream = go Sim.Engine.Streaming "a41-sweep-streaming" in
+  let verdicts agg =
+    List.map
+      (fun (o : Sim.Harness.outcome) ->
+        (o.adversary, o.faulty, o.seed, o.verdict))
+      agg.Sim.Harness.outcomes
+  in
+  let parity = verdicts full = verdicts stream in
+  let runs = List.length full.Sim.Harness.outcomes in
+  let t =
+    Stdx.Table.create
+      [ "path"; "runs"; "rounds simulated"; "wall clock (s)"; "worst" ]
+  in
+  let row label (agg : Sim.Harness.aggregate) wall =
+    Stdx.Table.add_row t
+      [
+        label;
+        string_of_int runs;
+        string_of_int agg.Sim.Harness.total_rounds_simulated;
+        Printf.sprintf "%.3f" wall;
+        Bench_common.verdict_cell agg.Sim.Harness.worst;
+      ]
+  in
+  row "full horizon" full wall_full;
+  row "streaming (early exit)" stream wall_stream;
+  Stdx.Table.print t;
+  let saving =
+    float_of_int full.Sim.Harness.total_rounds_simulated
+    /. float_of_int (max 1 stream.Sim.Harness.total_rounds_simulated)
+  in
+  Printf.printf
+    "\nverdict parity: %s; rounds saving %.1fx, wall-clock saving %.1fx\n"
+    (if parity then Printf.sprintf "IDENTICAL (all %d runs)" runs
+     else "MISMATCH")
+    saving
+    (wall_full /. Float.max 1e-9 wall_stream);
+  if not parity then begin
+    print_endline "ERROR: streaming and full-horizon verdicts differ!";
+    exit 1
+  end

@@ -108,29 +108,62 @@ let run_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run levels corollary1 modulus faulty adversary rounds seed =
+  let min_suffix_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "min-suffix" ] ~docv:"K"
+          ~doc:
+            "Clean counting rounds required before declaring stabilisation.")
+  in
+  let full_trace_arg =
+    Arg.(
+      value & flag
+      & info [ "full-trace" ]
+          ~doc:
+            "Simulate the whole horizon instead of early-exiting once the \
+             verdict is decided (verdicts are identical; see DESIGN.md).")
+  in
+  let run levels corollary1 modulus faulty adversary rounds seed min_suffix
+      full_trace =
     match plan_tower levels corollary1 modulus with
     | Error (`Msg m) -> `Error (false, m)
     | Ok tower -> (
       let (Algo.Spec.Packed spec) = Counting.Build.tower tower in
       match adversary_of_name adversary with
       | None -> `Error (false, "unknown adversary; see `countctl adversaries'")
+      | Some _ when min_suffix < 1 -> `Error (false, "--min-suffix must be >= 1")
       | Some adversary ->
-        let run = Sim.Network.run ~spec ~adversary ~faulty ~rounds ~seed () in
+        let mode =
+          if full_trace then Sim.Engine.Full_horizon else Sim.Engine.Streaming
+        in
+        let outcome =
+          Sim.Engine.run ~mode ~min_suffix ~spec ~adversary ~faulty ~rounds
+            ~seed ()
+        in
         Printf.printf "%s\n" spec.Algo.Spec.name;
-        (match Sim.Stabilise.of_run ~min_suffix:64 run with
+        (match outcome.Sim.Engine.verdict with
         | Sim.Stabilise.Stabilized t ->
           Printf.printf "stabilised at round %d (bound %d)\n" t
             (Counting.Plan.top tower).Counting.Plan.time_bound
         | Sim.Stabilise.Not_stabilized ->
-          Printf.printf "did not stabilise within %d rounds\n" rounds);
+          Printf.printf "did not stabilise within %d rounds\n" rounds;
+          List.iter
+            (fun (r, outs) ->
+              Printf.printf "  round %d outputs: %s\n" r
+                (String.concat " "
+                   (Array.to_list (Array.map string_of_int outs))))
+            outcome.Sim.Engine.recent_outputs);
+        if outcome.Sim.Engine.early_exit then
+          Printf.printf "simulated %d of %d rounds (early exit)\n"
+            outcome.Sim.Engine.rounds_simulated rounds;
         `Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
         (const run $ levels_arg $ corollary_f_arg $ modulus_arg $ faulty_arg
-       $ adversary_arg $ rounds_arg $ seed_arg))
+       $ adversary_arg $ rounds_arg $ seed_arg $ min_suffix_arg
+       $ full_trace_arg))
 
 let verify_cmd =
   let doc =
@@ -162,6 +195,32 @@ let verify_cmd =
       | Ok report ->
         Printf.printf "VERIFIED: exact worst-case stabilisation T = %d\n"
           report.Mc.Checker.worst_stabilisation;
+        (* Cross-check the exact bound against the streaming simulator:
+           worst observed stabilisation over the hostile suite must not
+           exceed the model checker's T. *)
+        let rounds = max (8 * spec.Algo.Spec.c) 128 in
+        let agg =
+          Sim.Harness.sweep ~spec
+            ~adversaries:(Sim.Adversary.hostile_suite ())
+            ~rounds ()
+        in
+        (match agg.Sim.Harness.worst with
+        | Some w when w <= report.Mc.Checker.worst_stabilisation ->
+          Printf.printf
+            "simulation cross-check: worst observed %d <= T (%d runs, \
+             %d/%d rounds simulated)\n"
+            w
+            (List.length agg.Sim.Harness.outcomes)
+            agg.Sim.Harness.total_rounds_simulated
+            (List.length agg.Sim.Harness.outcomes * rounds)
+        | Some w ->
+          Printf.printf
+            "WARNING: simulation observed stabilisation at %d > exact T %d\n"
+            w report.Mc.Checker.worst_stabilisation
+        | None ->
+          Printf.printf
+            "WARNING: some simulated run did not stabilise within %d rounds\n"
+            rounds);
         `Ok ()
       | Error f ->
         Printf.printf "%s\n" (Mc.Checker.check_to_string (Error f));

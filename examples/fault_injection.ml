@@ -42,10 +42,13 @@ let () =
             let times =
               List.filter_map
                 (fun seed ->
-                  let run =
-                    Sim.Network.run ~spec ~adversary ~faulty ~rounds:4000 ~seed ()
+                  (* Streaming engine: stops as soon as 64 clean counting
+                     rounds are observed instead of burning all 4000. *)
+                  let outcome =
+                    Sim.Engine.run ~min_suffix:64 ~spec ~adversary ~faulty
+                      ~rounds:4000 ~seed ()
                   in
-                  match Sim.Stabilise.of_run ~min_suffix:64 run with
+                  match outcome.Sim.Engine.verdict with
                   | Sim.Stabilise.Stabilized t -> Some t
                   | Sim.Stabilise.Not_stabilized -> None)
                 [ 1; 2; 3 ]

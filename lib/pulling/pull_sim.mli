@@ -48,5 +48,36 @@ val run :
   seed:int ->
   unit ->
   's run
+(** Full-trace simulation: materialises every state/output row. For
+    verdict-only sweeps prefer {!run_stream}, which replays the exact
+    same execution (identical RNG stream) without storing the trace. *)
+
+type 's stream = {
+  verdict : Sim.Online.verdict;
+  rounds_simulated : int;
+      (** rounds actually executed; < [rounds] iff [early_exit] *)
+  early_exit : bool;
+  final_states : 's array;
+  stream_max_pulls : int;  (** as [max_pulls], over the simulated prefix *)
+  stream_total_pulls : int;  (** as [total_pulls], over the simulated prefix *)
+}
+
+val run_stream :
+  ?init:'s array ->
+  ?early_exit:bool ->
+  min_suffix:int ->
+  spec:'s Pull_spec.t ->
+  responder:'s responder ->
+  faulty:int list ->
+  rounds:int ->
+  seed:int ->
+  unit ->
+  's stream
+(** Streaming counterpart of {!run}: O(n) live state, online
+    stabilisation detection, and (unless [~early_exit:false]) an early
+    exit as soon as the clean counting suffix reaches [min_suffix]. With
+    [~early_exit:false] the verdict is identical to running
+    [Sim.Stabilise.of_outputs] over the full trace of {!run} with the
+    same arguments. *)
 
 val correct_ids : 's run -> int list

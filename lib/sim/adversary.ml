@@ -94,9 +94,12 @@ let mimic ~offset () =
             (fun ~spec:_ ~rng:_ ~round ~states ~faulty ->
               let correct = correct_ids (Array.length states) faulty in
               matrix ~n:(Array.length states) ~faulty
-                (fun ~fi ~sender:_ ~recipient:_ ->
+                (fun ~fi ~sender ~recipient:_ ->
+                  (* With no correct node to impersonate (n = f), fall
+                     back to replaying the faulty node's own state. *)
                   let victim =
-                    correct.((fi + offset + round) mod Array.length correct)
+                    if Array.length correct = 0 then sender
+                    else correct.((fi + offset + round) mod Array.length correct)
                   in
                   states.(victim)));
         });
@@ -111,11 +114,16 @@ let split_brain () =
           craft =
             (fun ~spec:_ ~rng:_ ~round:_ ~states ~faulty ->
               let correct = correct_ids (Array.length states) faulty in
-              let a = correct.(0) in
-              let b = correct.(Array.length correct - 1) in
               matrix ~n:(Array.length states) ~faulty
-                (fun ~fi:_ ~sender:_ ~recipient ->
-                  if recipient mod 2 = 0 then states.(a) else states.(b)));
+                (fun ~fi:_ ~sender ~recipient ->
+                  (* No correct halves to play against each other when
+                     n = f: replay the faulty node's own state. *)
+                  if Array.length correct = 0 then states.(sender)
+                  else begin
+                    let a = correct.(0) in
+                    let b = correct.(Array.length correct - 1) in
+                    if recipient mod 2 = 0 then states.(a) else states.(b)
+                  end));
         });
   }
 
@@ -163,8 +171,10 @@ let replay_correct ~delay () =
               let old = history_nth history ~delay ~fallback:states in
               let correct = correct_ids (Array.length states) faulty in
               matrix ~n:(Array.length states) ~faulty
-                (fun ~fi ~sender:_ ~recipient:_ ->
-                  old.(correct.(fi mod Array.length correct))));
+                (fun ~fi ~sender ~recipient:_ ->
+                  (* n = f: no correct node to replay, use own old state. *)
+                  if Array.length correct = 0 then old.(sender)
+                  else old.(correct.(fi mod Array.length correct))));
         });
   }
 

@@ -51,12 +51,16 @@ val random_equivocate : unit -> 's t
 val mimic : offset:int -> unit -> 's t
 (** Each faulty node impersonates a correct node (chosen by rotating over
     correct ids with [offset]), sending that node's true current state.
-    Creates plausible-but-duplicated views. *)
+    Creates plausible-but-duplicated views. When every node is faulty
+    (n = f) there is nobody to impersonate: each faulty node replays its
+    own state instead of crashing. *)
 
 val split_brain : unit -> 's t
 (** Equivocation attack: recipients with even id receive the current
     state of one correct node, odd ids that of another — the classic
-    strategy to drive two halves of the network apart. *)
+    strategy to drive two halves of the network apart. With an empty
+    correct set (n = f), falls back to replaying each faulty node's own
+    state. *)
 
 val stale : delay:int -> unit -> 's t
 (** Replay the faulty node's own true state from [delay] rounds ago
@@ -64,7 +68,8 @@ val stale : delay:int -> unit -> 's t
 
 val replay_correct : delay:int -> unit -> 's t
 (** Replay a *correct* node's state from [delay] rounds ago: stale but
-    internally consistent information. *)
+    internally consistent information. With an empty correct set (n = f),
+    replays the faulty node's own old state. *)
 
 val flip_flop : unit -> 's t
 (** Alternate between two random states drawn once at the start, switching

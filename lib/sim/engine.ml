@@ -1,0 +1,109 @@
+type mode = Streaming | Full_horizon
+
+type 's outcome = {
+  verdict : Online.verdict;
+  rounds_simulated : int;
+  early_exit : bool;
+  horizon : int;
+  final_states : 's array;
+  recent_outputs : (int * int array) list;
+  faulty : int array;
+  messages_per_round : int;
+  bits_per_round : int;
+}
+
+let validate_faulty ~n ~f faulty =
+  let sorted = List.sort_uniq Int.compare faulty in
+  if List.length sorted <> List.length faulty then
+    invalid_arg "Engine.run: duplicate faulty ids";
+  if List.exists (fun v -> v < 0 || v >= n) faulty then
+    invalid_arg "Engine.run: faulty id out of range";
+  if List.length faulty > f then
+    invalid_arg
+      (Printf.sprintf "Engine.run: %d faulty nodes but resilience is %d"
+         (List.length faulty) f);
+  Array.of_list sorted
+
+let run ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
+    ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t) ~faulty ~rounds
+    ~seed () =
+  let n = spec.Algo.Spec.n in
+  let min_suffix =
+    match min_suffix with
+    | Some m -> m
+    | None -> max (2 * spec.Algo.Spec.c) 16
+  in
+  let faulty = validate_faulty ~n ~f:spec.Algo.Spec.f faulty in
+  let is_faulty = Array.make n false in
+  Array.iter (fun v -> is_faulty.(v) <- true) faulty;
+  (* RNG stream layout is identical to the historical [Network.run], so a
+     streamed run and a full-trace run of the same seed are the same
+     execution, round for round. *)
+  let master = Stdx.Rng.create seed in
+  let init_rng = Stdx.Rng.split master in
+  let adv_rng = Stdx.Rng.split master in
+  let node_rng = Array.init n (fun _ -> Stdx.Rng.split master) in
+  let initial =
+    match init with
+    | Some states ->
+      if Array.length states <> n then
+        invalid_arg "Engine.run: init has wrong length";
+      Array.copy states
+    | None -> Array.init n (fun _ -> spec.Algo.Spec.random_state init_rng)
+  in
+  let correct =
+    List.filter (fun v -> not is_faulty.(v)) (List.init n (fun i -> i))
+  in
+  let detector =
+    Online.create ?window ~c:spec.Algo.Spec.c ~correct ~min_suffix ()
+  in
+  let crafter = adversary.Adversary.fresh () in
+  let current = ref initial in
+  let t = ref 0 in
+  let stop = ref false in
+  let early = ref false in
+  while not !stop do
+    let cur = !current in
+    (match probe with Some p -> p ~round:!t ~states:cur | None -> ());
+    let outs = Array.mapi (fun v s -> spec.Algo.Spec.output ~self:v s) cur in
+    (match trace with
+    | Some tr -> tr ~round:!t ~states:cur ~outputs:outs
+    | None -> ());
+    Online.observe detector ~round:!t outs;
+    if mode = Streaming && Online.stabilised detector then begin
+      early := !t < rounds;
+      stop := true
+    end
+    else if !t >= rounds then stop := true
+    else begin
+      let crafted =
+        if Array.length faulty = 0 then [||]
+        else
+          crafter.Adversary.craft ~spec ~rng:adv_rng ~round:!t ~states:cur
+            ~faulty
+      in
+      (* Per-recipient view: truth everywhere, overridden on faulty slots. *)
+      let next =
+        Array.init n (fun v ->
+            let received = Array.copy cur in
+            Array.iteri
+              (fun fi sender -> received.(sender) <- crafted.(fi).(v))
+              faulty;
+            spec.Algo.Spec.transition ~self:v ~rng:node_rng.(v) received)
+      in
+      current := next;
+      incr t
+    end
+  done;
+  let messages_per_round = n * (n - 1) in
+  {
+    verdict = Online.verdict detector;
+    rounds_simulated = !t;
+    early_exit = !early;
+    horizon = rounds;
+    final_states = !current;
+    recent_outputs = Online.recent detector;
+    faulty;
+    messages_per_round;
+    bits_per_round = messages_per_round * spec.Algo.Spec.state_bits;
+  }

@@ -1,0 +1,83 @@
+(** Streaming simulation engine — the hot path behind every sweep.
+
+    Simulates the same synchronous broadcast-round model as
+    {!Network.run}, but keeps only the live O(n) state vector plus a
+    bounded sliding window of recent output rows, detects stabilisation
+    {e online} with {!Online}, and (in {!Streaming} mode) {b early-exits}
+    as soon as the clean counting suffix reaches [min_suffix] — typically
+    cutting long-horizon sweeps by an order of magnitude.
+
+    {2 Verdict equivalence}
+
+    The RNG stream layout is byte-identical to {!Network.run} (which is
+    itself a thin wrapper over this engine), so for a given
+    [(spec, adversary, faulty, rounds, seed)] the streamed execution and
+    the full-trace execution are the same run.
+
+    - In {!Full_horizon} mode the returned verdict is {e always}
+      identical to [Stabilise.of_run ~min_suffix] on the corresponding
+      full trace (the online detector is an exact incremental version of
+      the offline backwards walk).
+    - In {!Streaming} mode the engine stops at the first round whose
+      truncated trace the offline checker would already call
+      [Stabilized]: the verdict equals the offline verdict on the
+      truncated trace by construction, and equals the full-horizon
+      verdict whenever the run stays clean after the exit point — which
+      holds for every algorithm/adversary pair in this repository's
+      suites (enforced by the differential test in [test_sim.ml] and the
+      parity check in [bench sweep]). [min_suffix] is exactly the
+      caller's evidence threshold: demanding more post-exit scrutiny
+      means asking for a larger [min_suffix].
+
+    To force full-trace behaviour, pass [~mode:Full_horizon] (same memory
+    profile, no early exit) or use {!Network.run} when the whole
+    state/output trace is needed (probes, figures, the model checker). *)
+
+type mode =
+  | Streaming  (** early-exit once the verdict is [Stabilized] *)
+  | Full_horizon  (** always simulate the whole horizon *)
+
+type 's outcome = {
+  verdict : Online.verdict;
+  rounds_simulated : int;
+      (** transition steps actually executed; output rows
+          [0 .. rounds_simulated] were observed. Equals [horizon] unless
+          the run early-exited. *)
+  early_exit : bool;  (** stopped before the horizon *)
+  horizon : int;  (** the requested [rounds] *)
+  final_states : 's array;  (** live state vector at the last round *)
+  recent_outputs : (int * int array) list;
+      (** sliding window of the last [(round, outputs)] rows, oldest
+          first *)
+  faulty : int array;  (** validated, sorted faulty ids *)
+  messages_per_round : int;
+  bits_per_round : int;
+}
+
+val run :
+  ?probe:(round:int -> states:'s array -> unit) ->
+  ?trace:(round:int -> states:'s array -> outputs:int array -> unit) ->
+  ?init:'s array ->
+  ?mode:mode ->
+  ?min_suffix:int ->
+  ?window:int ->
+  spec:'s Algo.Spec.t ->
+  adversary:'s Adversary.t ->
+  faulty:int list ->
+  rounds:int ->
+  seed:int ->
+  unit ->
+  's outcome
+(** Simulate up to [rounds] rounds, early-exiting in {!Streaming} mode
+    (the default). [min_suffix] defaults to [max (2*c) 16] and must be
+    [>= 1]; note that unlike {!Harness.sweep} this raw entry point does
+    not floor it at [c] — sweep-level callers get the checked contract.
+    [probe] sees the start-of-round states of every simulated round
+    (including round 0); [trace] additionally receives the output row and
+    is how {!Network.run} materialises full traces. [window] bounds
+    [recent_outputs] (default 8). Raises [Invalid_argument] on invalid
+    faulty sets or [init] length, like {!Network.run}. *)
+
+val validate_faulty : n:int -> f:int -> int list -> int array
+(** Shared faulty-set validation: sorted array, or [Invalid_argument] on
+    duplicates, out-of-range ids, or more than [f] members. *)

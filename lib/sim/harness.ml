@@ -3,6 +3,8 @@ type outcome = {
   faulty : int list;
   seed : int;
   verdict : Stabilise.verdict;
+  rounds_simulated : int;
+  early_exit : bool;
 }
 
 type aggregate = {
@@ -10,6 +12,8 @@ type aggregate = {
   all_stabilized : bool;
   worst : int option;
   times : int list;
+  horizon : int;
+  total_rounds_simulated : int;
 }
 
 let spread_fault_set ~n ~f =
@@ -27,7 +31,24 @@ let default_fault_sets ~n ~f =
     List.sort_uniq compare (List.map (List.sort_uniq Int.compare) candidates)
   end
 
-let aggregate_of outcomes =
+(* The min_suffix contract: a [Stabilized] verdict needs a clean suffix of
+   at least one full mod-c period, otherwise a counter that is periodic
+   with a smaller period can masquerade as counting (verdict
+   false-positive). The horizon may shorten the requested suffix, but
+   never below [c]; horizons that cannot even exhibit [c + 1] observation
+   rounds are a caller error. *)
+let resolve_min_suffix ~c ~rounds requested =
+  if rounds < c then
+    invalid_arg
+      (Printf.sprintf
+         "Harness.sweep: horizon of %d rounds cannot accommodate the %d \
+          observation rounds needed to witness one full mod-%d period"
+         rounds (c + 1) c);
+  let default = max (2 * c) 16 in
+  let requested = Option.value requested ~default in
+  max c (min requested (max 1 (rounds / 4)))
+
+let aggregate_of ~horizon outcomes =
   let times =
     List.filter_map
       (fun o ->
@@ -42,20 +63,19 @@ let aggregate_of outcomes =
   let worst =
     if all_stabilized then Some (List.fold_left max 0 times) else None
   in
-  { outcomes; all_stabilized; worst; times }
+  let total_rounds_simulated =
+    List.fold_left (fun acc o -> acc + o.rounds_simulated) 0 outcomes
+  in
+  { outcomes; all_stabilized; worst; times; horizon; total_rounds_simulated }
 
-let sweep ?fault_sets ?seeds ?min_suffix ~(spec : 's Algo.Spec.t) ~adversaries
-    ~rounds () =
+let sweep ?fault_sets ?seeds ?min_suffix ?(mode = Engine.Streaming)
+    ~(spec : 's Algo.Spec.t) ~adversaries ~rounds () =
   let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
   let fault_sets =
     match fault_sets with Some fs -> fs | None -> default_fault_sets ~n ~f
   in
   let seeds = match seeds with Some s -> s | None -> [ 1; 2; 3; 4; 5 ] in
-  let min_suffix =
-    let default = max (2 * spec.Algo.Spec.c) 16 in
-    let requested = Option.value min_suffix ~default in
-    min requested (max 1 (rounds / 4))
-  in
+  let min_suffix = resolve_min_suffix ~c:spec.Algo.Spec.c ~rounds min_suffix in
   let outcomes =
     List.concat_map
       (fun adversary ->
@@ -63,20 +83,23 @@ let sweep ?fault_sets ?seeds ?min_suffix ~(spec : 's Algo.Spec.t) ~adversaries
           (fun faulty ->
             List.map
               (fun seed ->
-                let run =
-                  Network.run ~spec ~adversary ~faulty ~rounds ~seed ()
+                let o =
+                  Engine.run ~mode ~min_suffix ~spec ~adversary ~faulty
+                    ~rounds ~seed ()
                 in
                 {
                   adversary = Adversary.name adversary;
                   faulty;
                   seed;
-                  verdict = Stabilise.of_run ~min_suffix run;
+                  verdict = o.Engine.verdict;
+                  rounds_simulated = o.Engine.rounds_simulated;
+                  early_exit = o.Engine.early_exit;
                 })
               seeds)
           fault_sets)
       adversaries
   in
-  aggregate_of outcomes
+  aggregate_of ~horizon:rounds outcomes
 
 let pp_aggregate ppf agg =
   let failures =
@@ -89,6 +112,10 @@ let pp_aggregate ppf agg =
   (match agg.worst with
   | Some w -> Format.fprintf ppf ", worst stabilisation %d" w
   | None -> ());
+  let full = List.length agg.outcomes * agg.horizon in
+  if full > 0 && agg.total_rounds_simulated < full then
+    Format.fprintf ppf ", %d/%d rounds simulated (early exit)"
+      agg.total_rounds_simulated full;
   List.iter
     (fun o ->
       Format.fprintf ppf "@.  FAILED: %s faulty=[%s] seed=%d" o.adversary

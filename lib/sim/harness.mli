@@ -1,12 +1,35 @@
 (** Experiment sweeps: run a spec against a matrix of adversaries, fault
     sets and seeds, and aggregate stabilisation statistics. This is the
-    engine behind the Table 1 / Theorem 1 measurement benches. *)
+    engine behind the Table 1 / Theorem 1 measurement benches.
+
+    Sweeps run on the streaming {!Engine} and early-exit each run as soon
+    as its verdict is decided (pass [~mode:Engine.Full_horizon] to force
+    full-horizon simulation; verdicts are identical — see [engine.mli]).
+
+    {2 The [min_suffix] contract}
+
+    A [Stabilized] verdict is only issued on a clean counting suffix of
+    at least [min_suffix] rounds, where the effective [min_suffix] is
+
+    - the requested value (default [max (2*c) 16]),
+    - capped by [rounds / 4] so short horizons are not dominated by the
+      suffix requirement,
+    - but {b never below [c]}: accepting a suffix shorter than one full
+      mod-[c] period would let a counter that is periodic with a smaller
+      period pass as counting.
+
+    If the horizon cannot accommodate [c + 1] observation rounds (i.e.
+    [rounds < c]), {!sweep} raises [Invalid_argument] instead of silently
+    weakening the check. *)
 
 type outcome = {
   adversary : string;
   faulty : int list;
   seed : int;
   verdict : Stabilise.verdict;
+  rounds_simulated : int;
+      (** rounds actually executed; < horizon iff [early_exit] *)
+  early_exit : bool;
 }
 
 type aggregate = {
@@ -14,6 +37,10 @@ type aggregate = {
   all_stabilized : bool;
   worst : int option;  (** max stabilisation time, [None] if any failure or no runs *)
   times : int list;  (** stabilisation times of the successful runs *)
+  horizon : int;  (** per-run round budget of this sweep *)
+  total_rounds_simulated : int;
+      (** sum over runs; compare with [runs * horizon] for the early-exit
+          saving *)
 }
 
 val default_fault_sets : n:int -> f:int -> int list list
@@ -24,17 +51,24 @@ val default_fault_sets : n:int -> f:int -> int list list
 val spread_fault_set : n:int -> f:int -> int list
 (** [f] ids spread evenly over [\[0, n)]. *)
 
+val resolve_min_suffix : c:int -> rounds:int -> int option -> int
+(** The effective [min_suffix] used by {!sweep} (exposed for callers that
+    run the {!Engine} directly but want the same contract). Raises
+    [Invalid_argument] if [rounds < c]. *)
+
 val sweep :
   ?fault_sets:int list list ->
   ?seeds:int list ->
   ?min_suffix:int ->
+  ?mode:Engine.mode ->
   spec:'s Algo.Spec.t ->
   adversaries:'s Adversary.t list ->
   rounds:int ->
   unit ->
   aggregate
-(** Runs every (adversary, fault set, seed) combination. [seeds] defaults
-    to [\[1..5\]], [min_suffix] to [max (2 * c) 16] capped by the horizon,
-    [fault_sets] to [default_fault_sets]. *)
+(** Runs every (adversary, fault set, seed) combination on the streaming
+    engine. [seeds] defaults to [\[1..5\]], [fault_sets] to
+    [default_fault_sets], [min_suffix] to the contract above, [mode] to
+    [Engine.Streaming]. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

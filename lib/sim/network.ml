@@ -9,73 +9,31 @@ type 's run = {
   bits_per_round : int;
 }
 
-let validate_faulty ~n ~f faulty =
-  let sorted = List.sort_uniq Int.compare faulty in
-  if List.length sorted <> List.length faulty then
-    invalid_arg "Network.run: duplicate faulty ids";
-  if List.exists (fun v -> v < 0 || v >= n) faulty then
-    invalid_arg "Network.run: faulty id out of range";
-  if List.length faulty > f then
-    invalid_arg
-      (Printf.sprintf "Network.run: %d faulty nodes but resilience is %d"
-         (List.length faulty) f);
-  Array.of_list sorted
-
+(* Thin wrapper over the streaming engine: materialise the full trace via
+   the engine's [trace] hook. Probes, figures and the model checker need
+   the whole history; sweeps should use [Engine.run] (or [Harness.sweep])
+   directly and early-exit instead. *)
 let run ?probe ?init ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t)
     ~faulty ~rounds ~seed () =
-  let n = spec.Algo.Spec.n in
-  let faulty = validate_faulty ~n ~f:spec.Algo.Spec.f faulty in
-  let is_faulty = Array.make n false in
-  Array.iter (fun v -> is_faulty.(v) <- true) faulty;
-  let master = Stdx.Rng.create seed in
-  let init_rng = Stdx.Rng.split master in
-  let adv_rng = Stdx.Rng.split master in
-  let node_rng = Array.init n (fun _ -> Stdx.Rng.split master) in
-  let initial =
-    match init with
-    | Some states ->
-      if Array.length states <> n then
-        invalid_arg "Network.run: init has wrong length";
-      Array.copy states
-    | None -> Array.init n (fun _ -> spec.Algo.Spec.random_state init_rng)
-  in
   let states = Array.make (rounds + 1) [||] in
   let outputs = Array.make (rounds + 1) [||] in
-  states.(0) <- initial;
-  let crafter = adversary.Adversary.fresh () in
-  for t = 0 to rounds do
-    let current = states.(t) in
-    (match probe with Some p -> p ~round:t ~states:current | None -> ());
-    outputs.(t) <- Array.mapi (fun v s -> spec.Algo.Spec.output ~self:v s) current;
-    if t < rounds then begin
-      let crafted =
-        if Array.length faulty = 0 then [||]
-        else
-          crafter.Adversary.craft ~spec ~rng:adv_rng ~round:t ~states:current
-            ~faulty
-      in
-      (* Per-recipient view: truth everywhere, overridden on faulty slots. *)
-      let next =
-        Array.init n (fun v ->
-            let received = Array.copy current in
-            Array.iteri
-              (fun fi sender -> received.(sender) <- crafted.(fi).(v))
-              faulty;
-            spec.Algo.Spec.transition ~self:v ~rng:node_rng.(v) received)
-      in
-      states.(t + 1) <- next
-    end
-  done;
-  let messages_per_round = n * (n - 1) in
+  let trace ~round ~states:s ~outputs:o =
+    states.(round) <- s;
+    outputs.(round) <- o
+  in
+  let outcome =
+    Engine.run ?probe ?init ~trace ~mode:Engine.Full_horizon ~min_suffix:1
+      ~spec ~adversary ~faulty ~rounds ~seed ()
+  in
   {
     spec;
-    faulty;
+    faulty = outcome.Engine.faulty;
     seed;
     rounds;
     states;
     outputs;
-    messages_per_round;
-    bits_per_round = messages_per_round * spec.Algo.Spec.state_bits;
+    messages_per_round = outcome.Engine.messages_per_round;
+    bits_per_round = outcome.Engine.bits_per_round;
   }
 
 let correct_ids run =

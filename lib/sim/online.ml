@@ -1,0 +1,92 @@
+type verdict = Stabilized of int | Not_stabilized
+
+let equal_verdict a b =
+  match (a, b) with
+  | Stabilized x, Stabilized y -> x = y
+  | Not_stabilized, Not_stabilized -> true
+  | Stabilized _, Not_stabilized | Not_stabilized, Stabilized _ -> false
+
+let pp_verdict ppf = function
+  | Stabilized t -> Format.fprintf ppf "stabilized@%d" t
+  | Not_stabilized -> Format.fprintf ppf "not-stabilized"
+
+type t = {
+  c : int;
+  correct : int array;
+  min_suffix : int;
+  window : int;
+  mutable rounds_seen : int;  (* rows observed so far; last round = rounds_seen - 1 *)
+  mutable seam : int;  (* earliest t with clean counting steps over [t, last) *)
+  mutable last_agree : bool;
+  mutable last_value : int;  (* canonical correct output at the last row *)
+  mutable recent : (int * int array) list;  (* newest first, bounded by window *)
+}
+
+let create ?window ~c ~correct ~min_suffix () =
+  if c < 1 then invalid_arg "Online.create: c < 1";
+  if min_suffix < 1 then invalid_arg "Online.create: min_suffix < 1";
+  let window =
+    match window with
+    | None -> 8
+    | Some w -> if w < 1 then invalid_arg "Online.create: window < 1" else w
+  in
+  {
+    c;
+    correct = Array.of_list correct;
+    min_suffix;
+    window;
+    rounds_seen = 0;
+    seam = 0;
+    last_agree = true;
+    last_value = 0;
+    recent = [];
+  }
+
+(* Agreement among correct nodes and their common value; vacuously true
+   (with a dummy value) when no node is correct, matching
+   [Stabilise.agreement_at] / [count_ok_step] on an empty correct set. *)
+let row_consensus t row =
+  if Array.length t.correct = 0 then (true, 0)
+  else begin
+    let v0 = row.(t.correct.(0)) in
+    (Array.for_all (fun v -> row.(v) = v0) t.correct, v0)
+  end
+
+let rec take k = function
+  | [] -> []
+  | h :: tl -> if k = 0 then [] else h :: take (k - 1) tl
+
+let observe t ~round row =
+  if round <> t.rounds_seen then
+    invalid_arg
+      (Printf.sprintf "Online.observe: expected round %d, got %d" t.rounds_seen
+         round);
+  let agree, v = row_consensus t row in
+  if t.rounds_seen > 0 then begin
+    let clean =
+      Array.length t.correct = 0
+      || (t.last_agree && agree && v = (t.last_value + 1) mod t.c)
+    in
+    if not clean then t.seam <- round
+  end;
+  t.last_agree <- agree;
+  t.last_value <- v;
+  t.rounds_seen <- t.rounds_seen + 1;
+  t.recent <- take t.window ((round, Array.copy row) :: t.recent)
+
+let rounds_seen t = t.rounds_seen
+let seam t = t.seam
+
+let verdict t =
+  if t.rounds_seen = 0 then Not_stabilized
+  else begin
+    let last = t.rounds_seen - 1 in
+    let agree_last = Array.length t.correct = 0 || t.last_agree in
+    if agree_last && last - t.seam >= t.min_suffix then Stabilized t.seam
+    else Not_stabilized
+  end
+
+let stabilised t =
+  match verdict t with Stabilized _ -> true | Not_stabilized -> false
+
+let recent t = List.rev t.recent

@@ -1,14 +1,7 @@
-type verdict = Stabilized of int | Not_stabilized
+type verdict = Online.verdict = Stabilized of int | Not_stabilized
 
-let equal_verdict a b =
-  match (a, b) with
-  | Stabilized x, Stabilized y -> x = y
-  | Not_stabilized, Not_stabilized -> true
-  | Stabilized _, Not_stabilized | Not_stabilized, Stabilized _ -> false
-
-let pp_verdict ppf = function
-  | Stabilized t -> Format.fprintf ppf "stabilized@%d" t
-  | Not_stabilized -> Format.fprintf ppf "not-stabilized"
+let equal_verdict = Online.equal_verdict
+let pp_verdict = Online.pp_verdict
 
 let agreement_at ~correct outputs ~round =
   match correct with

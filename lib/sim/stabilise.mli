@@ -8,9 +8,13 @@
     state a [min_suffix]: a verdict [Stabilized t] is only issued when at
     least [min_suffix] clean rounds follow [t]. *)
 
-type verdict =
+type verdict = Online.verdict =
   | Stabilized of int  (** earliest round from which the whole observed suffix counts correctly *)
   | Not_stabilized  (** no adequate clean suffix in the observed window *)
+      (** Re-export of {!Online.verdict}: the incremental detector and
+          the offline checker share one verdict type, and the streaming
+          {!Engine} is guaranteed to agree with {!of_outputs} (see
+          [engine.mli]). *)
 
 val equal_verdict : verdict -> verdict -> bool
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -13,12 +13,22 @@ let check_nonempty name = function
   | [] -> invalid_arg (name ^ ": empty input")
   | _ -> ()
 
+(* Polymorphic compare/min/max mis-sort and mis-aggregate in the presence
+   of NaN; every aggregation below uses Float.compare/Float.min/Float.max
+   and rejects NaN inputs outright. *)
+let check_no_nan name xs =
+  if List.exists Float.is_nan xs then invalid_arg (name ^ ": NaN input")
+
+let checked name xs =
+  check_nonempty name xs;
+  check_no_nan name xs
+
 let mean xs =
-  check_nonempty "Stats.mean" xs;
+  checked "Stats.mean" xs;
   List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let stddev xs =
-  check_nonempty "Stats.stddev" xs;
+  checked "Stats.stddev" xs;
   match xs with
   | [ _ ] -> 0.0
   | _ ->
@@ -27,10 +37,10 @@ let stddev xs =
     sqrt (ss /. float_of_int (List.length xs - 1))
 
 let percentile p xs =
-  check_nonempty "Stats.percentile" xs;
+  checked "Stats.percentile" xs;
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   let n = Array.length a in
   let rank = p *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
@@ -41,13 +51,13 @@ let percentile p xs =
     ((1.0 -. w) *. a.(lo)) +. (w *. a.(hi))
 
 let summarize xs =
-  check_nonempty "Stats.summarize" xs;
+  checked "Stats.summarize" xs;
   {
     count = List.length xs;
     mean = mean xs;
     stddev = stddev xs;
-    min = List.fold_left min infinity xs;
-    max = List.fold_left max neg_infinity xs;
+    min = List.fold_left Float.min infinity xs;
+    max = List.fold_left Float.max neg_infinity xs;
     median = percentile 0.5 xs;
     p90 = percentile 0.9 xs;
     p99 = percentile 0.99 xs;
@@ -61,10 +71,10 @@ let pp_summary ppf s =
     s.count s.mean s.stddev s.min s.median s.p90 s.p99 s.max
 
 let histogram ~bins xs =
-  check_nonempty "Stats.histogram" xs;
+  checked "Stats.histogram" xs;
   if bins < 1 then invalid_arg "Stats.histogram: bins < 1";
-  let lo = List.fold_left min infinity xs in
-  let hi = List.fold_left max neg_infinity xs in
+  let lo = List.fold_left Float.min infinity xs in
+  let hi = List.fold_left Float.max neg_infinity xs in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
   let counts = Array.make bins 0 in
   let bin_of x =

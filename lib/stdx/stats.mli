@@ -1,6 +1,9 @@
 (** Descriptive statistics over measurement samples (stabilisation times,
     message counts, dwell lengths). All functions take non-empty inputs
-    unless noted. *)
+    unless noted, and reject NaN with [Invalid_argument]: aggregating
+    with polymorphic [compare]/[min]/[max] silently mis-sorts in the
+    presence of NaN, so all comparisons use [Float.compare] /
+    [Float.min] / [Float.max] behind an explicit NaN check. *)
 
 type summary = {
   count : int;

@@ -87,6 +87,46 @@ let test_pull_sim_validation () =
        false
      with Invalid_argument _ -> true)
 
+(* The streaming path replays the exact same execution (identical RNG
+   stream) as the full-trace path, so without early exit its verdict must
+   equal the offline checker on run's trace; with early exit it may only
+   stop sooner, never change the verdict on these suites. *)
+let test_pull_sim_stream_matches_offline () =
+  let spec = pull_leader ~n:5 ~c:4 in
+  List.iter
+    (fun responder ->
+      List.iter
+        (fun seed ->
+          let name =
+            Printf.sprintf "%s/seed=%d" responder.Pulling.Pull_sim.resp_name
+              seed
+          in
+          let run =
+            Pulling.Pull_sim.run ~spec ~responder ~faulty:[] ~rounds:40 ~seed ()
+          in
+          let offline =
+            Sim.Stabilise.of_outputs ~c:4
+              ~correct:(Pulling.Pull_sim.correct_ids run)
+              ~min_suffix:8 run.Pulling.Pull_sim.outputs
+          in
+          let full =
+            Pulling.Pull_sim.run_stream ~early_exit:false ~min_suffix:8 ~spec
+              ~responder ~faulty:[] ~rounds:40 ~seed ()
+          in
+          let stream =
+            Pulling.Pull_sim.run_stream ~min_suffix:8 ~spec ~responder
+              ~faulty:[] ~rounds:40 ~seed ()
+          in
+          check Alcotest.bool (name ^ ": no-early-exit == offline") true
+            (Sim.Stabilise.equal_verdict offline full.Pulling.Pull_sim.verdict);
+          check Alcotest.bool (name ^ ": streaming == offline") true
+            (Sim.Stabilise.equal_verdict offline
+               stream.Pulling.Pull_sim.verdict);
+          check Alcotest.bool (name ^ ": streaming within horizon") true
+            (stream.Pulling.Pull_sim.rounds_simulated <= 40))
+        [ 1; 2; 3 ])
+    (Pulling.Pull_sim.standard_responders ())
+
 let test_responders_answer () =
   let spec = pull_leader ~n:4 ~c:3 in
   List.iter
@@ -256,6 +296,7 @@ let suite =
         case "pull-leader stabilises" test_pull_sim_stabilises_leader;
         case "reproducible" test_pull_sim_reproducible;
         case "validation" test_pull_sim_validation;
+        case "stream matches offline checker" test_pull_sim_stream_matches_offline;
         case "responders answer" test_responders_answer;
         case "mirror responder" test_mirror_responder;
       ] );

@@ -183,6 +183,71 @@ let test_greedy_confusion_runs () =
   let msgs = craft_once adv in
   check Alcotest.int "matrix shape" 2 (Array.length msgs)
 
+(* Regression: with every node faulty there is no correct node to
+   impersonate; split_brain indexed correct.(0) and mimic reduced modulo
+   the (zero) number of correct nodes, so both crashed. The fallback is
+   to replay the sender's own state. *)
+let all_faulty_spec = Algo.Combinators.with_claimed_resilience leader ~f:4
+
+let test_adversaries_all_faulty_craft () =
+  List.iter
+    (fun adv ->
+      let name = Sim.Adversary.name adv in
+      let crafter = adv.Sim.Adversary.fresh () in
+      let rng = Stdx.Rng.create 5 in
+      let states = [| 4; 0; 3; 1 |] in
+      let msgs =
+        crafter.Sim.Adversary.craft ~spec:all_faulty_spec ~rng ~round:0 ~states
+          ~faulty:[| 0; 1; 2; 3 |]
+      in
+      check Alcotest.int (name ^ ": one row per faulty node") 4
+        (Array.length msgs);
+      Array.iteri
+        (fun fi row ->
+          Array.iter
+            (fun v ->
+              check Alcotest.int
+                (name ^ ": no correct victim -> replays own state")
+                states.(fi) v)
+            row)
+        msgs)
+    [
+      Sim.Adversary.split_brain ();
+      Sim.Adversary.mimic ~offset:1 ();
+      Sim.Adversary.replay_correct ~delay:2 ();
+    ]
+
+let test_run_all_nodes_faulty () =
+  List.iter
+    (fun adv ->
+      let name = Sim.Adversary.name adv in
+      (* full-trace path must not raise... *)
+      let run =
+        Sim.Network.run ~spec:all_faulty_spec ~adversary:adv
+          ~faulty:[ 0; 1; 2; 3 ] ~rounds:12 ~seed:3 ()
+      in
+      check (Alcotest.list Alcotest.int) (name ^ ": no correct ids") []
+        (Sim.Network.correct_ids run);
+      (* ...and with no correct nodes the verdict is vacuous, on both the
+         offline checker and the streaming engine *)
+      let offline = Sim.Stabilise.of_run ~min_suffix:4 run in
+      let outcome =
+        Sim.Engine.run ~min_suffix:4 ~spec:all_faulty_spec ~adversary:adv
+          ~faulty:[ 0; 1; 2; 3 ] ~rounds:12 ~seed:3 ()
+      in
+      check Alcotest.bool (name ^ ": vacuously stabilized (offline)") true
+        (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 0) offline);
+      check Alcotest.bool (name ^ ": vacuously stabilized (engine)") true
+        (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 0)
+           outcome.Sim.Engine.verdict))
+    [
+      Sim.Adversary.split_brain ();
+      Sim.Adversary.mimic ~offset:1 ();
+      Sim.Adversary.replay_correct ~delay:2 ();
+      Sim.Adversary.random_equivocate ();
+      Sim.Adversary.greedy_confusion ~pool:2 ();
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Stabilisation detection                                              *)
 (* ------------------------------------------------------------------ *)
@@ -251,6 +316,180 @@ let test_stabilise_finds_seam =
       | Sim.Stabilise.Not_stabilized -> clean - 1 < 4)
 
 (* ------------------------------------------------------------------ *)
+(* Online detector                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The incremental detector must agree with the offline backwards walk
+   on EVERY prefix of a random trace, not just the final one. Traces mix
+   clean counting steps with random rows so seams land everywhere. *)
+let test_online_matches_offline =
+  qcheck ~count:200 "online detector == offline checker on every prefix"
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, min_suffix) ->
+      let c = 4 in
+      let rng = Stdx.Rng.create seed in
+      let len = 2 + Stdx.Rng.int rng 40 in
+      let rows = Array.make len [||] in
+      let v = ref 0 in
+      for i = 0 to len - 1 do
+        if i = 0 || Stdx.Rng.int rng 10 < 3 then begin
+          rows.(i) <- [| Stdx.Rng.int rng c; Stdx.Rng.int rng c |];
+          v := rows.(i).(0)
+        end
+        else begin
+          v := (!v + 1) mod c;
+          rows.(i) <- [| !v; !v |]
+        end
+      done;
+      let det = Sim.Online.create ~c ~correct:[ 0; 1 ] ~min_suffix () in
+      let ok = ref true in
+      Array.iteri
+        (fun i row ->
+          Sim.Online.observe det ~round:i row;
+          let offline =
+            Sim.Stabilise.of_outputs ~c ~correct:[ 0; 1 ] ~min_suffix
+              (Array.sub rows 0 (i + 1))
+          in
+          if not (Sim.Online.equal_verdict offline (Sim.Online.verdict det))
+          then ok := false)
+        rows;
+      !ok)
+
+let test_online_empty_correct_is_vacuous () =
+  let det = Sim.Online.create ~c:3 ~correct:[] ~min_suffix:2 () in
+  for r = 0 to 4 do
+    Sim.Online.observe det ~round:r [| r; 2 * r |]
+  done;
+  check Alcotest.bool "no correct nodes: vacuously stabilized at 0" true
+    (Sim.Online.equal_verdict (Sim.Stabilise.Stabilized 0)
+       (Sim.Online.verdict det))
+
+let test_online_rejects_round_gaps () =
+  let det = Sim.Online.create ~c:3 ~correct:[ 0 ] ~min_suffix:1 () in
+  Sim.Online.observe det ~round:0 [| 0 |];
+  check Alcotest.bool "skipping a round is an error" true
+    (try Sim.Online.observe det ~round:2 [| 2 |]; false
+     with Invalid_argument _ -> true)
+
+let test_online_window_bounds_memory () =
+  let det = Sim.Online.create ~window:3 ~c:5 ~correct:[ 0 ] ~min_suffix:1 () in
+  for r = 0 to 9 do
+    Sim.Online.observe det ~round:r [| r mod 5 |]
+  done;
+  let recent = Sim.Online.recent det in
+  check Alcotest.int "window keeps 3 rows" 3 (List.length recent);
+  check (Alcotest.list Alcotest.int) "oldest first" [ 7; 8; 9 ]
+    (List.map fst recent)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: streaming vs full horizon vs offline checker                 *)
+(* ------------------------------------------------------------------ *)
+
+(* ISSUE acceptance: Engine and Stabilise.of_run agree verdict-for-verdict
+   across adversaries x fault sets x seeds, for a trivial algorithm, the
+   randomised counter, and a Boost.construct instance. Full_horizon must
+   ALWAYS equal the offline checker; Streaming additionally matches it on
+   every run of these suites (clean-after-exit algorithms). *)
+let assert_differential ~label ~rounds ~min_suffix spec =
+  let fault_sets =
+    Sim.Harness.default_fault_sets ~n:spec.Algo.Spec.n ~f:spec.Algo.Spec.f
+  in
+  List.iter
+    (fun adversary ->
+      List.iter
+        (fun faulty ->
+          List.iter
+            (fun seed ->
+              let ctx =
+                Printf.sprintf "%s/%s/faulty=[%s]/seed=%d" label
+                  (Sim.Adversary.name adversary)
+                  (String.concat ";" (List.map string_of_int faulty))
+                  seed
+              in
+              let run =
+                Sim.Network.run ~spec ~adversary ~faulty ~rounds ~seed ()
+              in
+              let offline = Sim.Stabilise.of_run ~min_suffix run in
+              let full =
+                Sim.Engine.run ~mode:Sim.Engine.Full_horizon ~min_suffix ~spec
+                  ~adversary ~faulty ~rounds ~seed ()
+              in
+              let stream =
+                Sim.Engine.run ~mode:Sim.Engine.Streaming ~min_suffix ~spec
+                  ~adversary ~faulty ~rounds ~seed ()
+              in
+              check Alcotest.bool (ctx ^ ": full-horizon == offline") true
+                (Sim.Stabilise.equal_verdict offline
+                   full.Sim.Engine.verdict);
+              check Alcotest.bool (ctx ^ ": streaming == offline") true
+                (Sim.Stabilise.equal_verdict offline
+                   stream.Sim.Engine.verdict);
+              check Alcotest.bool (ctx ^ ": full horizon never early-exits")
+                true
+                ((not full.Sim.Engine.early_exit)
+                && full.Sim.Engine.rounds_simulated = rounds);
+              check Alcotest.bool (ctx ^ ": streaming stays within horizon")
+                true
+                (stream.Sim.Engine.rounds_simulated <= rounds
+                && stream.Sim.Engine.early_exit
+                   = (stream.Sim.Engine.rounds_simulated < rounds)))
+            [ 1; 2; 3; 4; 5 ])
+        fault_sets)
+    [
+      Sim.Adversary.split_brain ();
+      Sim.Adversary.random_equivocate ();
+      Sim.Adversary.stuck ();
+    ]
+
+let test_differential_trivial () =
+  let spec =
+    Algo.Combinators.with_claimed_resilience
+      (Counting.Trivial.follow_leader ~n:4 ~c:5)
+      ~f:1
+  in
+  assert_differential ~label:"follow-leader" ~rounds:200 ~min_suffix:16 spec
+
+let test_differential_rand_counter () =
+  assert_differential ~label:"rand-counter" ~rounds:400 ~min_suffix:16
+    (Counting.Rand_counter.make ~n:4 ~f:1)
+
+let test_differential_boost_a41 () =
+  let tower =
+    Counting.Plan.plan_tower_exn ~target_c:3
+      (Counting.Plan.corollary1_levels ~f:1)
+  in
+  let (Algo.Spec.Packed spec) = Counting.Build.tower tower in
+  assert_differential ~label:"A(4,1)" ~rounds:2600 ~min_suffix:64 spec
+
+let test_engine_early_exit () =
+  let outcome =
+    Sim.Engine.run ~min_suffix:16 ~spec:leader
+      ~adversary:(Sim.Adversary.benign ()) ~faulty:[] ~rounds:1000 ~seed:1 ()
+  in
+  check Alcotest.bool "stabilises immediately" true
+    (match outcome.Sim.Engine.verdict with
+    | Sim.Stabilise.Stabilized t -> t <= 1
+    | Sim.Stabilise.Not_stabilized -> false);
+  check Alcotest.bool "early exit flagged" true outcome.Sim.Engine.early_exit;
+  check Alcotest.bool "simulated only seam + min_suffix rounds" true
+    (outcome.Sim.Engine.rounds_simulated < 30);
+  check Alcotest.int "horizon recorded" 1000 outcome.Sim.Engine.horizon
+
+let test_engine_matches_network_metadata () =
+  let outcome =
+    Sim.Engine.run ~mode:Sim.Engine.Full_horizon ~spec:leader
+      ~adversary:(Sim.Adversary.benign ()) ~faulty:[] ~rounds:10 ~seed:1 ()
+  in
+  let run =
+    Sim.Network.run ~spec:leader ~adversary:(Sim.Adversary.benign ())
+      ~faulty:[] ~rounds:10 ~seed:1 ()
+  in
+  check Alcotest.int "messages per round" run.Sim.Network.messages_per_round
+    outcome.Sim.Engine.messages_per_round;
+  check (Alcotest.array Alcotest.int) "final states = last trace row"
+    run.Sim.Network.states.(10) outcome.Sim.Engine.final_states
+
+(* ------------------------------------------------------------------ *)
 (* Harness                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -281,6 +520,85 @@ let test_sweep_aggregates () =
   check Alcotest.bool "worst bounded by trivial T" true
     (match agg.Sim.Harness.worst with Some w -> w <= 1 | None -> false)
 
+let test_resolve_min_suffix () =
+  (* default max(2c, 16), capped by rounds/4, floored at c *)
+  check Alcotest.int "long horizon keeps the default" 16
+    (Sim.Harness.resolve_min_suffix ~c:2 ~rounds:100 None);
+  check Alcotest.int "short horizon caps at rounds/4" 10
+    (Sim.Harness.resolve_min_suffix ~c:2 ~rounds:40 None);
+  check Alcotest.int "cap never drops below c" 16
+    (Sim.Harness.resolve_min_suffix ~c:16 ~rounds:23 None);
+  check Alcotest.int "explicit request floored at c too" 16
+    (Sim.Harness.resolve_min_suffix ~c:16 ~rounds:23 (Some 4));
+  check Alcotest.bool "horizon below c is an error" true
+    (try ignore (Sim.Harness.resolve_min_suffix ~c:16 ~rounds:10 None); false
+     with Invalid_argument _ -> true)
+
+(* Regression for the silent min_suffix clamp: a deterministic counter
+   whose outputs are periodic with period 8 must never be accepted as a
+   mod-16 counter. Before the fix, sweep clamped min_suffix down to
+   rounds/4 = 5 < c, so the <16-round clean suffix before the wrap-around
+   glitch passed as stabilisation. *)
+let periodic_spec : int Algo.Spec.t =
+  {
+    Algo.Spec.name = "periodic-8-mod-16";
+    n = 2;
+    f = 0;
+    c = 16;
+    deterministic = true;
+    state_bits = 3;
+    equal_state = Int.equal;
+    compare_state = Int.compare;
+    pp_state = Format.pp_print_int;
+    random_state = (fun _ -> 0);
+    all_states = Some (List.init 8 Fun.id);
+    transition = (fun ~self:_ ~rng:_ received -> (received.(0) + 1) mod 8);
+    output = (fun ~self:_ s -> s);
+  }
+
+let test_sweep_rejects_shorter_period () =
+  (* The trap really is armed: the trace has a clean suffix of 7 rounds,
+     so the seed code's silent clamp to rounds/4 = 5 declared Stabilized. *)
+  let run =
+    Sim.Network.run ~spec:periodic_spec ~adversary:(Sim.Adversary.benign ())
+      ~faulty:[] ~rounds:23 ~seed:1 ()
+  in
+  check Alcotest.bool "old clamp would have accepted this trace" true
+    (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 16)
+       (Sim.Stabilise.of_run ~min_suffix:5 run));
+  let agg =
+    Sim.Harness.sweep ~spec:periodic_spec
+      ~adversaries:[ Sim.Adversary.benign () ]
+      ~fault_sets:[ [] ] ~seeds:[ 1; 2; 3 ] ~rounds:23 ()
+  in
+  List.iter
+    (fun (o : Sim.Harness.outcome) ->
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: period-8 counter not mod-16 counting" o.seed)
+        true
+        (Sim.Stabilise.equal_verdict Sim.Stabilise.Not_stabilized o.verdict))
+    agg.Sim.Harness.outcomes;
+  check Alcotest.bool "horizon shorter than one period raises" true
+    (try
+       ignore
+         (Sim.Harness.sweep ~spec:periodic_spec
+            ~adversaries:[ Sim.Adversary.benign () ]
+            ~fault_sets:[ [] ] ~seeds:[ 1 ] ~rounds:10 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_sweep_streaming_saves_rounds () =
+  let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
+  let agg =
+    Sim.Harness.sweep ~spec
+      ~adversaries:[ Sim.Adversary.benign () ]
+      ~seeds:[ 1; 2 ] ~rounds:400 ()
+  in
+  check Alcotest.bool "early exit well before the horizon" true
+    (agg.Sim.Harness.total_rounds_simulated
+    < List.length agg.Sim.Harness.outcomes * 400 / 4);
+  check Alcotest.int "horizon recorded" 400 agg.Sim.Harness.horizon
+
 let suite =
   [
     ( "sim.network",
@@ -304,6 +622,24 @@ let suite =
         case "random equivocation varies" test_random_equivocate_varies;
         case "hostile suite excludes benign" test_hostile_suite_excludes_benign;
         case "greedy confusion runs" test_greedy_confusion_runs;
+        case "all nodes faulty: craft falls back" test_adversaries_all_faulty_craft;
+        case "all nodes faulty: runs end to end" test_run_all_nodes_faulty;
+      ] );
+    ( "sim.online",
+      [
+        test_online_matches_offline;
+        case "empty correct set is vacuous" test_online_empty_correct_is_vacuous;
+        case "rejects round gaps" test_online_rejects_round_gaps;
+        case "window bounds memory" test_online_window_bounds_memory;
+      ] );
+    ( "sim.engine",
+      [
+        case "early exit" test_engine_early_exit;
+        case "metadata matches Network.run" test_engine_matches_network_metadata;
+        case "differential: follow-leader" test_differential_trivial;
+        case "differential: rand-counter" test_differential_rand_counter;
+        Alcotest.test_case "differential: A(4,1) boost" `Slow
+          test_differential_boost_a41;
       ] );
     ( "sim.stabilise",
       [
@@ -320,5 +656,8 @@ let suite =
         case "default fault sets" test_default_fault_sets;
         case "spread fault set" test_spread_fault_set;
         case "sweep aggregates" test_sweep_aggregates;
+        case "resolve_min_suffix contract" test_resolve_min_suffix;
+        case "shorter-period counter rejected" test_sweep_rejects_shorter_period;
+        case "streaming sweep saves rounds" test_sweep_streaming_saves_rounds;
       ] );
   ]

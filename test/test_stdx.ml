@@ -215,6 +215,30 @@ let test_stats_empty_raises () =
   Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty input")
     (fun () -> ignore (Stdx.Stats.mean []))
 
+(* Regression: the polymorphic compare/min/max used previously ordered
+   NaN unpredictably, so a single NaN could silently corrupt percentile,
+   min and max. NaN is now rejected up front. *)
+let test_stats_nan_rejected () =
+  let nan_list = [ 1.0; Float.nan; 3.0 ] in
+  let raises name f =
+    check Alcotest.bool (name ^ " rejects NaN") true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises "mean" (fun () -> Stdx.Stats.mean nan_list);
+  raises "stddev" (fun () -> Stdx.Stats.stddev nan_list);
+  raises "percentile" (fun () -> Stdx.Stats.percentile 0.5 nan_list);
+  raises "summarize" (fun () -> Stdx.Stats.summarize nan_list);
+  raises "histogram" (fun () -> Stdx.Stats.histogram ~bins:2 nan_list)
+
+let test_stats_order_with_infinities () =
+  (* Float.compare/min/max keep total order on the non-NaN extremes *)
+  let xs = [ Float.infinity; -1.0; 0.0; Float.neg_infinity ] in
+  let s = Stdx.Stats.summarize xs in
+  check Alcotest.bool "min" true (s.Stdx.Stats.min = Float.neg_infinity);
+  check Alcotest.bool "max" true (s.Stdx.Stats.max = Float.infinity);
+  check (Alcotest.float 1e-9) "median sorts correctly" (-0.5)
+    (Stdx.Stats.percentile 0.5 xs)
+
 (* ------------------------------------------------------------------ *)
 (* Table                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -293,6 +317,8 @@ let suite =
         case "histogram" test_stats_histogram;
         case "fraction" test_stats_fraction;
         case "empty raises" test_stats_empty_raises;
+        case "NaN rejected" test_stats_nan_rejected;
+        case "total order with infinities" test_stats_order_with_infinities;
       ] );
     ( "stdx.table",
       [
