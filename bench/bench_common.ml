@@ -21,12 +21,28 @@ let a36_7 ~c =
   Counting.Boost.construct ~inner:(a12_3 ~c:1728).Counting.Boost.spec ~k:3
     ~big_f:7 ~big_c:c
 
+(* Worker-domain count for the embarrassingly parallel sweep grids:
+   REPRO_JOBS overrides (the CI hook), otherwise the machine's
+   recommended domain count. *)
+let default_jobs () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ -> Stdx.Pool.recommended_jobs ())
+  | None -> Stdx.Pool.recommended_jobs ()
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable sweep log: every harness sweep run by the benches is
    recorded (per-run rounds simulated, verdict, early-exit round, and
    wall-clock per sweep) and flushed to BENCH_sweep.json at exit, so the
    early-exit speedup of the streaming engine lands in the repo's perf
-   trajectory next to the pretty tables. *)
+   trajectory next to the pretty tables.
+
+   Sweeps are tracked from [timed_sweep] entry: a sweep that crashes
+   mid-run stays in [in_flight] and is dropped at flush time (with a
+   note), so the at_exit hook never writes a record for a sweep that did
+   not complete. *)
 
 type sweep_record = {
   label : string;
@@ -37,6 +53,7 @@ type sweep_record = {
 
 let sweep_json_path = "BENCH_sweep.json"
 let sweep_records : sweep_record list ref = ref []
+let in_flight : string list ref = ref []
 let flush_registered = ref false
 
 let json_escape s =
@@ -83,42 +100,64 @@ let json_of_record r =
        (List.map json_of_outcome agg.Sim.Harness.outcomes))
 
 let flush_sweep_log () =
+  let dropped = List.rev !in_flight in
+  if dropped <> [] then
+    Printf.printf
+      "\n[%d partial sweep(s) dropped from %s (crashed mid-run): %s]\n"
+      (List.length dropped) sweep_json_path
+      (String.concat ", " dropped);
   match List.rev !sweep_records with
   | [] -> ()
   | records ->
     let oc = open_out sweep_json_path in
-    output_string oc "{\n  \"sweeps\": [\n";
+    Printf.fprintf oc "{\n  \"dropped_partial_sweeps\": %d,\n  \"sweeps\": [\n"
+      (List.length dropped);
     output_string oc (String.concat ",\n" (List.map json_of_record records));
     output_string oc "\n  ]\n}\n";
     close_out oc;
     Printf.printf "\n[%d sweep record(s) written to %s]\n"
       (List.length records) sweep_json_path
 
-let record_sweep ~label ~mode ~wall_s agg =
+let mode_string = function
+  | Sim.Engine.Streaming -> "streaming"
+  | Sim.Engine.Full_horizon -> "full-horizon"
+
+(* Run one sweep under the crash-safe log: registered as in-flight before
+   the first run executes, recorded (with its wall clock) only on
+   completion. *)
+let timed_sweep ~label ~mode sweep =
   if not !flush_registered then begin
     flush_registered := true;
     at_exit flush_sweep_log
   end;
-  let mode =
-    match mode with
-    | Sim.Engine.Streaming -> "streaming"
-    | Sim.Engine.Full_horizon -> "full-horizon"
-  in
-  sweep_records := { label; mode; wall_s; agg } :: !sweep_records
+  in_flight := label :: !in_flight;
+  let t0 = Unix.gettimeofday () in
+  let agg = sweep () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match !in_flight with
+  | l :: rest when String.equal l label -> in_flight := rest
+  | other -> in_flight := List.filter (fun l -> not (String.equal l label)) other);
+  sweep_records := { label; mode = mode_string mode; wall_s; agg } :: !sweep_records;
+  (agg, wall_s)
 
 (* Worst observed stabilisation time over an adversary/fault/seed grid;
    None when some run failed to stabilise. Runs on the streaming engine
-   (early exit) unless [mode] says otherwise; every call is recorded in
-   the sweep log. *)
+   (early exit) unless [mode] says otherwise, on [jobs] domains (default
+   [default_jobs ()]); every call is recorded in the sweep log. *)
 let measure_worst ?(seeds = [ 1; 2; 3 ]) ?(rounds = 4000)
-    ?(mode = Sim.Engine.Streaming) ?label ~spec ~adversaries ~fault_sets () =
-  let t0 = Unix.gettimeofday () in
-  let agg =
-    Sim.Harness.sweep ~fault_sets ~seeds ~mode ~spec ~adversaries ~rounds ()
+    ?(mode = Sim.Engine.Streaming) ?jobs ?label ~spec ~adversaries ~fault_sets
+    () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let config =
+    Sim.Harness.Config.(
+      default |> with_fault_sets fault_sets |> with_seeds seeds
+      |> with_rounds rounds |> with_mode mode |> with_jobs jobs)
   in
-  let wall_s = Unix.gettimeofday () -. t0 in
   let label = match label with Some l -> l | None -> spec.Algo.Spec.name in
-  record_sweep ~label ~mode ~wall_s agg;
+  let agg, _wall_s =
+    timed_sweep ~label ~mode (fun () ->
+        Sim.Harness.run ~config ~spec ~adversaries ())
+  in
   (agg.Sim.Harness.worst, agg)
 
 let verdict_cell = function

@@ -1,0 +1,75 @@
+(* Experiment P1: the multicore sweep executor, measured.
+
+   Runs the A(4,1) sweep grid (hostile adversary suite x fault sets x
+   seeds, 4000-round horizon — the same grid as experiment S1) at
+   jobs = 1 and jobs = Domain.recommended_domain_count (), checks the
+   outcome lists are identical (the Stdx.Pool determinism guarantee),
+   and writes wall clocks plus the speedup to BENCH_parallel.json. *)
+
+let json_path = "BENCH_parallel.json"
+
+let run () =
+  let ncores = Stdx.Pool.recommended_jobs () in
+  Bench_common.section
+    (Printf.sprintf
+       "Multicore sweep - jobs=1 vs jobs=%d on A(4,1), rounds = 4000" ncores);
+  let spec = (Bench_common.a41 ~c:2).Counting.Boost.spec in
+  let adversaries = Sim.Adversary.hostile_suite () in
+  let fault_sets = [ []; [ 0 ]; [ 2 ] ] in
+  let seeds = [ 1; 2; 3 ] in
+  let rounds = 4000 in
+  let go jobs =
+    let config =
+      Sim.Harness.Config.(
+        default |> with_fault_sets fault_sets |> with_seeds seeds
+        |> with_rounds rounds |> with_jobs jobs)
+    in
+    Bench_common.timed_sweep
+      ~label:(Printf.sprintf "a41-sweep-jobs-%d" jobs)
+      ~mode:Sim.Engine.Streaming
+      (fun () -> Sim.Harness.run ~config ~spec ~adversaries ())
+  in
+  let base, wall_1 = go 1 in
+  let par, wall_n = go ncores in
+  let parity = base.Sim.Harness.outcomes = par.Sim.Harness.outcomes in
+  let runs = List.length base.Sim.Harness.outcomes in
+  let speedup = wall_1 /. Float.max 1e-9 wall_n in
+  let t = Stdx.Table.create [ "jobs"; "runs"; "wall clock (s)"; "speedup" ] in
+  let row jobs wall =
+    Stdx.Table.add_row t
+      [
+        string_of_int jobs;
+        string_of_int runs;
+        Printf.sprintf "%.3f" wall;
+        Printf.sprintf "%.2fx" (wall_1 /. Float.max 1e-9 wall);
+      ]
+  in
+  row 1 wall_1;
+  row ncores wall_n;
+  Stdx.Table.print t;
+  Printf.printf
+    "\noutcome parity at jobs=%d: %s; recommended_domain_count = %d\n" ncores
+    (if parity then Printf.sprintf "IDENTICAL (all %d runs)" runs
+     else "MISMATCH")
+    ncores;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"grid\": \"a41-hostile-suite\",\n\
+    \  \"horizon\": %d,\n\
+    \  \"runs\": %d,\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"outcome_parity\": %b,\n\
+    \  \"measurements\": [\n\
+    \    {\"jobs\": 1, \"wall_clock_s\": %.6f},\n\
+    \    {\"jobs\": %d, \"wall_clock_s\": %.6f}\n\
+    \  ],\n\
+    \  \"speedup\": %.3f\n\
+     }\n"
+    rounds runs ncores parity wall_1 ncores wall_n speedup;
+  close_out oc;
+  Printf.printf "[parallel sweep record written to %s]\n" json_path;
+  if not parity then begin
+    print_endline "ERROR: parallel and sequential sweep outcomes differ!";
+    exit 1
+  end

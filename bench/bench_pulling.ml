@@ -23,10 +23,13 @@ let sampled_sweep () =
         "clean-step rate (1 fault)";
       ]
   in
+  let jobs = Bench_common.default_jobs () in
   let rate ~faulty ~samples =
     let s = Pulling.Sampled.construct ~inner ~k:3 ~big_f:3 ~big_c:8 ~samples in
+    (* Seeds are independent runs (each constructs its own responder and
+       RNG stream), so they map over the domain pool. *)
     let fractions =
-      List.map
+      Stdx.Pool.map ~jobs
         (fun seed ->
           let run =
             Pulling.Pull_sim.run ~spec:s.Pulling.Sampled.spec
@@ -71,28 +74,33 @@ let oblivious_sweep () =
       ([ "fault placement" ] @ List.map (fun m -> Printf.sprintf "M=%d" m) [ 4; 8; 16; 24 ])
   in
   let seeds = 10 in
+  let jobs = Bench_common.default_jobs () in
   let row label faulty =
     let cells =
       List.map
         (fun samples ->
-          let ok = ref 0 in
-          for seed = 1 to seeds do
-            let s =
-              Pulling.Sampled.construct_oblivious ~inner ~k:3 ~big_f:3 ~big_c:8
-                ~samples ~links_seed:(500 + seed)
-            in
-            (* Streaming path: early-exits once 64 clean rounds are seen
-               instead of materialising all 3500 rows. *)
-            let stream =
-              Pulling.Pull_sim.run_stream ~min_suffix:64
-                ~spec:s.Pulling.Sampled.spec
-                ~responder:(Pulling.Pull_sim.random_responder ()) ~faulty
-                ~rounds:3500 ~seed ()
-            in
-            if stream.Pulling.Pull_sim.verdict <> Sim.Stabilise.Not_stabilized
-            then incr ok
-          done;
-          Bench_common.fraction_of_seeds ~seeds ~stabilised:!ok)
+          (* One independent (link seed, run seed) pair per slot, spread
+             over the domain pool; counting survivors is order-blind. *)
+          let stabilised =
+            Stdx.Pool.run ~jobs seeds (fun i ->
+                let seed = i + 1 in
+                let s =
+                  Pulling.Sampled.construct_oblivious ~inner ~k:3 ~big_f:3
+                    ~big_c:8 ~samples ~links_seed:(500 + seed)
+                in
+                (* Streaming path: early-exits once 64 clean rounds are
+                   seen instead of materialising all 3500 rows. *)
+                let stream =
+                  Pulling.Pull_sim.run_stream ~min_suffix:64
+                    ~spec:s.Pulling.Sampled.spec
+                    ~responder:(Pulling.Pull_sim.random_responder ()) ~faulty
+                    ~rounds:3500 ~seed ()
+                in
+                stream.Pulling.Pull_sim.verdict
+                <> Sim.Stabilise.Not_stabilized)
+          in
+          let ok = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 stabilised in
+          Bench_common.fraction_of_seeds ~seeds ~stabilised:ok)
         [ 4; 8; 16; 24 ]
     in
     Stdx.Table.add_row t (label :: cells)

@@ -14,14 +14,15 @@ let run () =
   let fault_sets = [ []; [ 0 ]; [ 2 ] ] in
   let seeds = [ 1; 2; 3 ] in
   let rounds = 4000 in
+  let jobs = Bench_common.default_jobs () in
   let go mode label =
-    let t0 = Unix.gettimeofday () in
-    let agg =
-      Sim.Harness.sweep ~fault_sets ~seeds ~mode ~spec ~adversaries ~rounds ()
+    let config =
+      Sim.Harness.Config.(
+        default |> with_fault_sets fault_sets |> with_seeds seeds
+        |> with_rounds rounds |> with_mode mode |> with_jobs jobs)
     in
-    let wall_s = Unix.gettimeofday () -. t0 in
-    Bench_common.record_sweep ~label ~mode ~wall_s agg;
-    (agg, wall_s)
+    Bench_common.timed_sweep ~label ~mode (fun () ->
+        Sim.Harness.run ~config ~spec ~adversaries ())
   in
   let full, wall_full = go Sim.Engine.Full_horizon "a41-sweep-full-horizon" in
   let stream, wall_stream = go Sim.Engine.Streaming "a41-sweep-streaming" in

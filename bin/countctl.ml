@@ -3,8 +3,8 @@
 
      dune exec bin/countctl.exe -- plan --levels 4:1,3:3 --modulus 10
      dune exec bin/countctl.exe -- run --levels 4:1,3:3 --modulus 10 \
-         --faulty 0,5,9 --adversary split-brain --rounds 4000 --seed 7
-     dune exec bin/countctl.exe -- verify --algorithm leader:4:3
+         --faulty 0,5,9 --adversary split-brain --rounds 4000 --seed 7,8,9
+     dune exec bin/countctl.exe -- verify --algorithm leader:4:3 --jobs 4
      dune exec bin/countctl.exe -- adversaries *)
 
 open Cmdliner
@@ -81,6 +81,73 @@ let adversary_of_name name =
     (Sim.Adversary.standard_suite ()
     @ [ Sim.Adversary.greedy_confusion ~pool:2 () ])
 
+(* ------------------------------------------------------------------ *)
+(* Flags shared by the sweep-shaped subcommands (run, verify): horizon,
+   seeds, min-suffix, worker domains. Defaults that depend on the
+   subcommand (rounds, seeds) stay optional and are resolved there. *)
+
+type sweep_opts = {
+  rounds : int option;
+  seeds : int list option;
+  min_suffix : int option;
+  jobs : int;
+}
+
+let sweep_flags =
+  let rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Rounds to simulate per run (default: 4000 for run, \
+             max(8c, 128) for verify's cross-check).")
+  in
+  let seeds_arg =
+    let parse s =
+      try
+        match List.map int_of_string (String.split_on_char ',' s) with
+        | [] -> Error (`Msg "need at least one seed")
+        | seeds -> Ok seeds
+      with _ -> Error (`Msg "seeds must be a comma-separated int list")
+    in
+    let seeds_conv =
+      Arg.conv ~docv:"SEEDS"
+        (parse, fun ppf _ -> Format.fprintf ppf "<seeds>")
+    in
+    Arg.(
+      value
+      & opt (some seeds_conv) None
+      & info [ "seed"; "seeds" ] ~docv:"SEEDS"
+          ~doc:
+            "Comma-separated PRNG seeds, one independent run each \
+             (default: 1 for run, 1,2,3,4,5 for verify's cross-check).")
+  in
+  let min_suffix_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "min-suffix" ] ~docv:"K"
+          ~doc:
+            "Clean counting rounds required before declaring \
+             stabilisation (default: the Sim.Min_suffix contract, \
+             max(2c, 16) capped by rounds/4 and floored at c).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Stdx.Pool.recommended_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:
+            "Worker domains for independent runs and faulty-set checks \
+             (default: the machine's recommended domain count). Results \
+             are identical at any J.")
+  in
+  Term.(
+    const (fun rounds seeds min_suffix jobs ->
+        { rounds; seeds; min_suffix; jobs })
+    $ rounds_arg $ seeds_arg $ min_suffix_arg $ jobs_arg)
+
 let faulty_arg =
   let parse s =
     try
@@ -102,19 +169,6 @@ let run_cmd =
       & opt string "random-equivocate"
       & info [ "adversary" ] ~docv:"NAME" ~doc:"Adversary strategy name.")
   in
-  let rounds_arg =
-    Arg.(value & opt int 4000 & info [ "rounds" ] ~docv:"N" ~doc:"Rounds to simulate.")
-  in
-  let seed_arg =
-    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-  in
-  let min_suffix_arg =
-    Arg.(
-      value & opt int 64
-      & info [ "min-suffix" ] ~docv:"K"
-          ~doc:
-            "Clean counting rounds required before declaring stabilisation.")
-  in
   let full_trace_arg =
     Arg.(
       value & flag
@@ -123,47 +177,58 @@ let run_cmd =
             "Simulate the whole horizon instead of early-exiting once the \
              verdict is decided (verdicts are identical; see DESIGN.md).")
   in
-  let run levels corollary1 modulus faulty adversary rounds seed min_suffix
-      full_trace =
+  let run levels corollary1 modulus faulty adversary opts full_trace =
     match plan_tower levels corollary1 modulus with
     | Error (`Msg m) -> `Error (false, m)
     | Ok tower -> (
       let (Algo.Spec.Packed spec) = Counting.Build.tower tower in
       match adversary_of_name adversary with
       | None -> `Error (false, "unknown adversary; see `countctl adversaries'")
-      | Some _ when min_suffix < 1 -> `Error (false, "--min-suffix must be >= 1")
+      | Some _ when (match opts.min_suffix with Some m -> m < 1 | None -> false)
+        -> `Error (false, "--min-suffix must be >= 1")
       | Some adversary ->
+        let rounds = Option.value opts.rounds ~default:4000 in
+        let seeds = Option.value opts.seeds ~default:[ 1 ] in
         let mode =
           if full_trace then Sim.Engine.Full_horizon else Sim.Engine.Streaming
         in
-        let outcome =
-          Sim.Engine.run ~mode ~min_suffix ~spec ~adversary ~faulty ~rounds
-            ~seed ()
+        (* One independent engine run per seed, spread over the pool;
+           output order follows the seed list regardless of --jobs. *)
+        let outcomes =
+          Stdx.Pool.map ~jobs:opts.jobs
+            (fun seed ->
+              ( seed,
+                Sim.Engine.run ~mode ?min_suffix:opts.min_suffix ~spec
+                  ~adversary ~faulty ~rounds ~seed () ))
+            seeds
         in
         Printf.printf "%s\n" spec.Algo.Spec.name;
-        (match outcome.Sim.Engine.verdict with
-        | Sim.Stabilise.Stabilized t ->
-          Printf.printf "stabilised at round %d (bound %d)\n" t
-            (Counting.Plan.top tower).Counting.Plan.time_bound
-        | Sim.Stabilise.Not_stabilized ->
-          Printf.printf "did not stabilise within %d rounds\n" rounds;
-          List.iter
-            (fun (r, outs) ->
-              Printf.printf "  round %d outputs: %s\n" r
-                (String.concat " "
-                   (Array.to_list (Array.map string_of_int outs))))
-            outcome.Sim.Engine.recent_outputs);
-        if outcome.Sim.Engine.early_exit then
-          Printf.printf "simulated %d of %d rounds (early exit)\n"
-            outcome.Sim.Engine.rounds_simulated rounds;
+        List.iter
+          (fun (seed, outcome) ->
+            if List.length seeds > 1 then Printf.printf "seed %d:\n" seed;
+            (match outcome.Sim.Engine.verdict with
+            | Sim.Stabilise.Stabilized t ->
+              Printf.printf "stabilised at round %d (bound %d)\n" t
+                (Counting.Plan.top tower).Counting.Plan.time_bound
+            | Sim.Stabilise.Not_stabilized ->
+              Printf.printf "did not stabilise within %d rounds\n" rounds;
+              List.iter
+                (fun (r, outs) ->
+                  Printf.printf "  round %d outputs: %s\n" r
+                    (String.concat " "
+                       (Array.to_list (Array.map string_of_int outs))))
+                outcome.Sim.Engine.recent_outputs);
+            if outcome.Sim.Engine.early_exit then
+              Printf.printf "simulated %d of %d rounds (early exit)\n"
+                outcome.Sim.Engine.rounds_simulated rounds)
+          outcomes;
         `Ok ())
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
         (const run $ levels_arg $ corollary_f_arg $ modulus_arg $ faulty_arg
-       $ adversary_arg $ rounds_arg $ seed_arg $ min_suffix_arg
-       $ full_trace_arg))
+       $ adversary_arg $ sweep_flags $ full_trace_arg))
 
 let verify_cmd =
   let doc =
@@ -176,7 +241,7 @@ let verify_cmd =
       & info [ "algorithm" ] ~docv:"SPEC"
           ~doc:"Algorithm: trivial:C or leader:N:C.")
   in
-  let run algo =
+  let run algo opts =
     let spec =
       match String.split_on_char ':' algo with
       | [ "trivial"; c ] ->
@@ -191,18 +256,30 @@ let verify_cmd =
     match spec with
     | None -> `Error (false, "unknown algorithm spec")
     | Some (Algo.Spec.Packed spec) -> (
-      match Mc.Checker.check spec with
+      match Mc.Checker.check ~jobs:opts.jobs spec with
       | Ok report ->
         Printf.printf "VERIFIED: exact worst-case stabilisation T = %d\n"
           report.Mc.Checker.worst_stabilisation;
         (* Cross-check the exact bound against the streaming simulator:
            worst observed stabilisation over the hostile suite must not
            exceed the model checker's T. *)
-        let rounds = max (8 * spec.Algo.Spec.c) 128 in
+        let rounds =
+          Option.value opts.rounds ~default:(max (8 * spec.Algo.Spec.c) 128)
+        in
+        let config =
+          let open Sim.Harness.Config in
+          let c = default |> with_rounds rounds |> with_jobs opts.jobs in
+          let c =
+            match opts.seeds with Some s -> with_seeds s c | None -> c
+          in
+          match opts.min_suffix with
+          | Some m -> with_min_suffix m c
+          | None -> c
+        in
         let agg =
-          Sim.Harness.sweep ~spec
+          Sim.Harness.run ~config ~spec
             ~adversaries:(Sim.Adversary.hostile_suite ())
-            ~rounds ()
+            ()
         in
         (match agg.Sim.Harness.worst with
         | Some w when w <= report.Mc.Checker.worst_stabilisation ->
@@ -226,7 +303,7 @@ let verify_cmd =
         Printf.printf "%s\n" (Mc.Checker.check_to_string (Error f));
         `Ok ())
   in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ algo_arg))
+  Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ algo_arg $ sweep_flags))
 
 let adversaries_cmd =
   let doc = "List the available adversary strategies." in

@@ -4,3 +4,17 @@ set -eu
 cd "$(dirname "$0")"
 dune build
 dune runtest
+
+# Re-run the pool and sweep suites with real concurrency forced: the
+# jobs-determinism tests read REPRO_JOBS, so this exercises the
+# multi-domain path even when the default jobs count is 1.
+REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.pool' -q
+REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness' -q
+
+# The bench logs must always be well-formed JSON (the at_exit flush is
+# crash-safe; a malformed file means that guarantee broke).
+for log in BENCH_sweep.json BENCH_parallel.json; do
+  if [ -f "$log" ]; then
+    dune exec bin/jsonlint.exe -- "$log"
+  fi
+done

@@ -15,9 +15,11 @@ let () =
   let tower = Counting.Plan.plan_tower_exn ~target_c:2 levels in
   let (Algo.Spec.Packed spec) = Counting.Build.tower tower in
   let bound = (Counting.Plan.top tower).Counting.Plan.time_bound in
+  let jobs = Stdx.Pool.recommended_jobs () in
   Printf.printf
-    "Fault injection on %s\n(n = %d, f = %d, Theorem 1 stabilisation bound %d)\n\n"
-    spec.Algo.Spec.name spec.Algo.Spec.n spec.Algo.Spec.f bound;
+    "Fault injection on %s\n\
+     (n = %d, f = %d, Theorem 1 stabilisation bound %d, %d worker domain(s))\n\n"
+    spec.Algo.Spec.name spec.Algo.Spec.n spec.Algo.Spec.f bound jobs;
   let placements =
     [
       ("none", []);
@@ -34,29 +36,36 @@ let () =
   let adversaries =
     Sim.Adversary.standard_suite () @ [ Sim.Adversary.greedy_confusion ~pool:2 () ]
   in
+  (* One sweep per adversary over the full placements x seeds grid,
+     spread across the domain pool. The streaming engine stops each run
+     as soon as 64 clean counting rounds are observed instead of burning
+     all 4000; outcomes come back in grid order at any jobs count. *)
+  let config =
+    Sim.Harness.Config.(
+      default
+      |> with_fault_sets (List.map snd placements)
+      |> with_seeds [ 1; 2; 3 ]
+      |> with_min_suffix 64 |> with_rounds 4000 |> with_jobs jobs)
+  in
   List.iter
     (fun adversary ->
+      let agg = Sim.Harness.run ~config ~spec ~adversaries:[ adversary ] () in
       let cells =
         List.map
           (fun (_, faulty) ->
             let times =
               List.filter_map
-                (fun seed ->
-                  (* Streaming engine: stops as soon as 64 clean counting
-                     rounds are observed instead of burning all 4000. *)
-                  let outcome =
-                    Sim.Engine.run ~min_suffix:64 ~spec ~adversary ~faulty
-                      ~rounds:4000 ~seed ()
-                  in
-                  match outcome.Sim.Engine.verdict with
-                  | Sim.Stabilise.Stabilized t -> Some t
-                  | Sim.Stabilise.Not_stabilized -> None)
-                [ 1; 2; 3 ]
+                (fun (o : Sim.Harness.outcome) ->
+                  if o.faulty <> faulty then None
+                  else
+                    match o.verdict with
+                    | Sim.Stabilise.Stabilized t -> Some t
+                    | Sim.Stabilise.Not_stabilized -> None)
+                agg.Sim.Harness.outcomes
             in
             match times with
             | [ _; _; _ ] -> string_of_int (List.fold_left max 0 times)
-            | _ -> "FAIL"
-          )
+            | _ -> "FAIL")
           placements
       in
       Stdx.Table.add_row t (Sim.Adversary.name adversary :: cells))

@@ -135,7 +135,7 @@ let subsets n k =
   in
   go 0 k
 
-let check ?max_configs ?faulty_sets (spec : 's Algo.Spec.t) =
+let check ?max_configs ?faulty_sets ?(jobs = 1) (spec : 's Algo.Spec.t) =
   let sets =
     match faulty_sets with
     | Some s -> s
@@ -144,9 +144,24 @@ let check ?max_configs ?faulty_sets (spec : 's Algo.Spec.t) =
         (fun k -> subsets spec.Algo.Spec.n k)
         (List.init (spec.Algo.Spec.f + 1) (fun i -> i))
   in
-  let rec go sets_left checked total worst =
-    match sets_left with
-    | [] ->
+  let sets = Array.of_list sets in
+  let evaluate_set i =
+    let space = Space.create_exn ?max_configs spec ~faulty:sets.(i) in
+    evaluate space
+  in
+  (* Each faulty set gets its own [Space] (and successor memo table), so
+     the per-set analyses are independent; folding the pre-sized result
+     array in set order reports the same first failure as the sequential
+     walk. With [jobs = 1] sets are evaluated lazily so the walk still
+     stops at the first failure. *)
+  let metrics_at =
+    if jobs > 1 then
+      let all = Stdx.Pool.run ~jobs (Array.length sets) evaluate_set in
+      Array.get all
+    else evaluate_set
+  in
+  let rec go i checked total worst =
+    if i >= Array.length sets then
       Ok
         {
           spec_name = spec.Algo.Spec.name;
@@ -154,23 +169,23 @@ let check ?max_configs ?faulty_sets (spec : 's Algo.Spec.t) =
           total_configurations = total;
           worst_stabilisation = worst;
         }
-    | faulty :: rest ->
-      let space = Space.create_exn ?max_configs spec ~faulty in
-      let m = evaluate space in
+    else begin
+      let m = metrics_at i in
       if m.cycle then
         Error
           {
-            fail_faulty = faulty;
+            fail_faulty = sets.(i);
             fail_metrics = m;
             fail_reason =
               (if m.good = 0 then "no good region exists"
                else "adversary can avoid the good region forever");
           }
       else
-        go rest (checked + 1) (total + m.configurations)
+        go (i + 1) (checked + 1) (total + m.configurations)
           (max worst m.worst_depth)
+    end
   in
-  go sets 0 0 0
+  go 0 0 0 0
 
 let check_to_string = function
   | Ok _ -> "verified"

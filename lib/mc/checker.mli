@@ -50,10 +50,17 @@ val subsets : int -> int -> int list list
 val check :
   ?max_configs:int ->
   ?faulty_sets:int list list ->
+  ?jobs:int ->
   's Algo.Spec.t ->
   (report, failure) result
 (** Verify the spec against every faulty set of size [0..f] (or the given
     list). Raises [Invalid_argument] when the spec is not checkable
-    (non-enumerable, randomised, or too large). *)
+    (non-enumerable, randomised, or too large).
+
+    [jobs] (default 1) distributes the per-faulty-set state-space
+    analyses over a {!Stdx.Pool}; each set owns its own {!Space}, and
+    failures are reported for the first failing set in enumeration order
+    regardless of [jobs]. With [jobs = 1] the walk stops at the first
+    failure instead of analysing the remaining sets. *)
 
 val check_to_string : ('a, failure) result -> string

@@ -28,11 +28,7 @@ let run ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
     ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t) ~faulty ~rounds
     ~seed () =
   let n = spec.Algo.Spec.n in
-  let min_suffix =
-    match min_suffix with
-    | Some m -> m
-    | None -> max (2 * spec.Algo.Spec.c) 16
-  in
+  let min_suffix = Min_suffix.clamp ~c:spec.Algo.Spec.c ~rounds min_suffix in
   let faulty = validate_faulty ~n ~f:spec.Algo.Spec.f faulty in
   let is_faulty = Array.make n false in
   Array.iter (fun v -> is_faulty.(v) <- true) faulty;

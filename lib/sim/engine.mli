@@ -69,9 +69,11 @@ val run :
   unit ->
   's outcome
 (** Simulate up to [rounds] rounds, early-exiting in {!Streaming} mode
-    (the default). [min_suffix] defaults to [max (2*c) 16] and must be
-    [>= 1]; note that unlike {!Harness.sweep} this raw entry point does
-    not floor it at [c] — sweep-level callers get the checked contract.
+    (the default). [min_suffix] — explicit or defaulted — is resolved by
+    {!Min_suffix.clamp}, the same arithmetic contract the {!Harness}
+    sweeps enforce: default [max (2*c) 16], capped by [rounds / 4],
+    floored at [c]. (Sweeps additionally reject [rounds < c]; see
+    {!Min_suffix}.)
     [probe] sees the start-of-round states of every simulated round
     (including round 0); [trace] additionally receives the output row and
     is how {!Network.run} materialises full traces. [window] bounds

@@ -16,6 +16,34 @@ type aggregate = {
   total_rounds_simulated : int;
 }
 
+module Config = struct
+  type t = {
+    fault_sets : int list list option;
+    seeds : int list;
+    min_suffix : int option;
+    mode : Engine.mode;
+    rounds : int;
+    jobs : int;
+  }
+
+  let default =
+    {
+      fault_sets = None;
+      seeds = [ 1; 2; 3; 4; 5 ];
+      min_suffix = None;
+      mode = Engine.Streaming;
+      rounds = 4000;
+      jobs = 1;
+    }
+
+  let with_fault_sets fault_sets t = { t with fault_sets = Some fault_sets }
+  let with_seeds seeds t = { t with seeds }
+  let with_min_suffix min_suffix t = { t with min_suffix = Some min_suffix }
+  let with_mode mode t = { t with mode }
+  let with_rounds rounds t = { t with rounds }
+  let with_jobs jobs t = { t with jobs }
+end
+
 let spread_fault_set ~n ~f =
   if f = 0 then []
   else List.init f (fun i -> i * n / f)
@@ -31,22 +59,8 @@ let default_fault_sets ~n ~f =
     List.sort_uniq compare (List.map (List.sort_uniq Int.compare) candidates)
   end
 
-(* The min_suffix contract: a [Stabilized] verdict needs a clean suffix of
-   at least one full mod-c period, otherwise a counter that is periodic
-   with a smaller period can masquerade as counting (verdict
-   false-positive). The horizon may shorten the requested suffix, but
-   never below [c]; horizons that cannot even exhibit [c + 1] observation
-   rounds are a caller error. *)
 let resolve_min_suffix ~c ~rounds requested =
-  if rounds < c then
-    invalid_arg
-      (Printf.sprintf
-         "Harness.sweep: horizon of %d rounds cannot accommodate the %d \
-          observation rounds needed to witness one full mod-%d period"
-         rounds (c + 1) c);
-  let default = max (2 * c) 16 in
-  let requested = Option.value requested ~default in
-  max c (min requested (max 1 (rounds / 4)))
+  Min_suffix.resolve ~c ~rounds requested
 
 let aggregate_of ~horizon outcomes =
   let times =
@@ -68,38 +82,58 @@ let aggregate_of ~horizon outcomes =
   in
   { outcomes; all_stabilized; worst; times; horizon; total_rounds_simulated }
 
-let sweep ?fault_sets ?seeds ?min_suffix ?(mode = Engine.Streaming)
-    ~(spec : 's Algo.Spec.t) ~adversaries ~rounds () =
+let run ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries () =
+  let { Config.fault_sets; seeds; min_suffix; mode; rounds; jobs } = config in
   let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
   let fault_sets =
     match fault_sets with Some fs -> fs | None -> default_fault_sets ~n ~f
   in
-  let seeds = match seeds with Some s -> s | None -> [ 1; 2; 3; 4; 5 ] in
   let min_suffix = resolve_min_suffix ~c:spec.Algo.Spec.c ~rounds min_suffix in
-  let outcomes =
-    List.concat_map
-      (fun adversary ->
-        List.concat_map
-          (fun faulty ->
-            List.map
-              (fun seed ->
-                let o =
-                  Engine.run ~mode ~min_suffix ~spec ~adversary ~faulty
-                    ~rounds ~seed ()
-                in
-                {
-                  adversary = Adversary.name adversary;
-                  faulty;
-                  seed;
-                  verdict = o.Engine.verdict;
-                  rounds_simulated = o.Engine.rounds_simulated;
-                  early_exit = o.Engine.early_exit;
-                })
-              seeds)
-          fault_sets)
-      adversaries
+  (* The grid is flattened up front so results land in pre-sized slots:
+     every run is keyed by its own (adversary, faulty, seed) — the engine
+     derives all randomness from the seed — so [~jobs:n] is
+     outcome-for-outcome identical to [~jobs:1]. *)
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun adversary ->
+           List.concat_map
+             (fun faulty ->
+               List.map (fun seed -> (adversary, faulty, seed)) seeds)
+             fault_sets)
+         adversaries)
   in
-  aggregate_of ~horizon:rounds outcomes
+  let outcomes =
+    Stdx.Pool.run ~jobs (Array.length grid) (fun i ->
+        let adversary, faulty, seed = grid.(i) in
+        let o =
+          Engine.run ~mode ~min_suffix ~spec ~adversary ~faulty ~rounds ~seed
+            ()
+        in
+        {
+          adversary = Adversary.name adversary;
+          faulty;
+          seed;
+          verdict = o.Engine.verdict;
+          rounds_simulated = o.Engine.rounds_simulated;
+          early_exit = o.Engine.early_exit;
+        })
+  in
+  aggregate_of ~horizon:rounds (Array.to_list outcomes)
+
+let sweep ?fault_sets ?seeds ?min_suffix ?mode ?jobs ~spec ~adversaries
+    ~rounds () =
+  let config =
+    {
+      Config.fault_sets;
+      seeds = Option.value seeds ~default:Config.default.Config.seeds;
+      min_suffix;
+      mode = Option.value mode ~default:Config.default.Config.mode;
+      rounds;
+      jobs = Option.value jobs ~default:Config.default.Config.jobs;
+    }
+  in
+  run ~config ~spec ~adversaries ()
 
 let pp_aggregate ppf agg =
   let failures =

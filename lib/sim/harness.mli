@@ -3,24 +3,23 @@
     engine behind the Table 1 / Theorem 1 measurement benches.
 
     Sweeps run on the streaming {!Engine} and early-exit each run as soon
-    as its verdict is decided (pass [~mode:Engine.Full_horizon] to force
-    full-horizon simulation; verdicts are identical — see [engine.mli]).
+    as its verdict is decided (set [Config.mode] to [Engine.Full_horizon]
+    to force full-horizon simulation; verdicts are identical — see
+    [engine.mli]). The grid is embarrassingly parallel: {!Config.t} has a
+    [jobs] field and the runs are distributed over a deterministic
+    {!Stdx.Pool}. Every run derives all of its randomness from its own
+    [(adversary, faulty, seed)] key, so [jobs = n] is outcome-for-outcome
+    identical to [jobs = 1] — same order, same verdicts, same
+    [rounds_simulated] (enforced by a test).
 
     {2 The [min_suffix] contract}
 
-    A [Stabilized] verdict is only issued on a clean counting suffix of
-    at least [min_suffix] rounds, where the effective [min_suffix] is
-
-    - the requested value (default [max (2*c) 16]),
-    - capped by [rounds / 4] so short horizons are not dominated by the
-      suffix requirement,
-    - but {b never below [c]}: accepting a suffix shorter than one full
-      mod-[c] period would let a counter that is periodic with a smaller
-      period pass as counting.
-
-    If the horizon cannot accommodate [c + 1] observation rounds (i.e.
-    [rounds < c]), {!sweep} raises [Invalid_argument] instead of silently
-    weakening the check. *)
+    The effective [min_suffix] is resolved by {!Min_suffix.resolve}: the
+    requested value (default [max (2*c) 16]) capped by [rounds / 4] but
+    never below [c]. If the horizon cannot accommodate [c + 1]
+    observation rounds ([rounds < c]), {!run} raises [Invalid_argument]
+    instead of silently weakening the check. {!Engine.run} enforces the
+    same arithmetic via {!Min_suffix.clamp}. *)
 
 type outcome = {
   adversary : string;
@@ -43,6 +42,37 @@ type aggregate = {
           saving *)
 }
 
+(** Sweep configuration: one record instead of five optional arguments.
+    Build from {!Config.default} with the [with_*] builders:
+
+    {[
+      Harness.Config.(
+        default |> with_rounds 4000 |> with_seeds [ 1; 2; 3 ]
+        |> with_jobs (Stdx.Pool.recommended_jobs ()))
+    ]} *)
+module Config : sig
+  type t = {
+    fault_sets : int list list option;
+        (** [None] = {!default_fault_sets} for the spec's [(n, f)] *)
+    seeds : int list;  (** default [\[1..5\]] *)
+    min_suffix : int option;  (** [None] = the {!Min_suffix} default *)
+    mode : Engine.mode;  (** default [Engine.Streaming] *)
+    rounds : int;  (** per-run horizon; default 4000 *)
+    jobs : int;
+        (** worker domains for the grid; default 1 (sequential). Any
+            value yields identical outcomes — see {!Stdx.Pool}. *)
+  }
+
+  val default : t
+
+  val with_fault_sets : int list list -> t -> t
+  val with_seeds : int list -> t -> t
+  val with_min_suffix : int -> t -> t
+  val with_mode : Engine.mode -> t -> t
+  val with_rounds : int -> t -> t
+  val with_jobs : int -> t -> t
+end
+
 val default_fault_sets : n:int -> f:int -> int list list
 (** A deterministic selection of fault sets: the empty set, [f] prefix
     nodes, [f] suffix nodes, an evenly spread set, and single-node sets.
@@ -52,23 +82,34 @@ val spread_fault_set : n:int -> f:int -> int list
 (** [f] ids spread evenly over [\[0, n)]. *)
 
 val resolve_min_suffix : c:int -> rounds:int -> int option -> int
-(** The effective [min_suffix] used by {!sweep} (exposed for callers that
-    run the {!Engine} directly but want the same contract). Raises
-    [Invalid_argument] if [rounds < c]. *)
+(** {!Min_suffix.resolve} (kept here for callers of the historical
+    name). Raises [Invalid_argument] if [rounds < c]. *)
+
+val run :
+  ?config:Config.t ->
+  spec:'s Algo.Spec.t ->
+  adversaries:'s Adversary.t list ->
+  unit ->
+  aggregate
+(** Runs every (adversary, fault set, seed) combination of [config]
+    (default {!Config.default}) on the streaming engine, on
+    [config.jobs] domains. Outcomes are listed in grid order —
+    adversaries outermost, then fault sets, then seeds — regardless of
+    [jobs]. *)
 
 val sweep :
   ?fault_sets:int list list ->
   ?seeds:int list ->
   ?min_suffix:int ->
   ?mode:Engine.mode ->
+  ?jobs:int ->
   spec:'s Algo.Spec.t ->
   adversaries:'s Adversary.t list ->
   rounds:int ->
   unit ->
   aggregate
-(** Runs every (adversary, fault set, seed) combination on the streaming
-    engine. [seeds] defaults to [\[1..5\]], [fault_sets] to
-    [default_fault_sets], [min_suffix] to the contract above, [mode] to
-    [Engine.Streaming]. *)
+[@@deprecated "use Harness.run with a Harness.Config.t"]
+(** Thin wrapper over {!run} keeping the historical optional-argument
+    signature (plus [?jobs]). New code should build a {!Config.t}. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

@@ -1,0 +1,16 @@
+(* See min_suffix.mli for the contract's rationale. *)
+
+let default ~c = max (2 * c) 16
+
+let clamp ~c ~rounds requested =
+  let requested = Option.value requested ~default:(default ~c) in
+  max c (min requested (max 1 (rounds / 4)))
+
+let resolve ~c ~rounds requested =
+  if rounds < c then
+    invalid_arg
+      (Printf.sprintf
+         "Min_suffix.resolve: horizon of %d rounds cannot accommodate the %d \
+          observation rounds needed to witness one full mod-%d period"
+         rounds (c + 1) c);
+  clamp ~c ~rounds requested

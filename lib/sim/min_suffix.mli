@@ -1,0 +1,32 @@
+(** The one [min_suffix] contract, shared by the raw {!Engine} entry
+    point and the {!Harness} sweeps.
+
+    A [Stabilized] verdict needs a clean counting suffix of at least one
+    full mod-[c] period: a counter that is periodic with a smaller period
+    must not masquerade as counting. The effective [min_suffix] is
+    therefore
+
+    - the requested value (default [max (2*c) 16]),
+    - capped by [rounds / 4] so short horizons are not dominated by the
+      suffix requirement,
+    - but {b never below [c]}.
+
+    {!Engine.run} applies {!clamp} to every request, explicit or
+    defaulted. Sweeps ({!Harness}) use {!resolve}, which additionally
+    rejects horizons that cannot even exhibit the [c + 1] observation
+    rounds of one full period — a sweep whose verdicts are all vacuous is
+    a caller error, whereas a raw short engine run (e.g. {!Network.run}
+    materialising a few rounds of trace) is not. *)
+
+val default : c:int -> int
+(** [max (2*c) 16] — the requested value when the caller gives none. *)
+
+val clamp : c:int -> rounds:int -> int option -> int
+(** [clamp ~c ~rounds requested] is
+    [max c (min requested (max 1 (rounds / 4)))] with [requested]
+    defaulting to {!default}. Total; idempotent. *)
+
+val resolve : c:int -> rounds:int -> int option -> int
+(** {!clamp}, after validating the horizon: raises [Invalid_argument] if
+    [rounds < c], i.e. when even one full mod-[c] period cannot be
+    witnessed. *)

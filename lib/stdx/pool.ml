@@ -1,0 +1,60 @@
+(* Work-stealing-free domain pool: an index queue guarded by a mutex and
+   a pre-sized result array make the output independent of scheduling. *)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let sequential n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+let parallel ~jobs n f =
+  (* Result and failure slots are pre-sized; slot [i] is written only by
+     the worker that claimed index [i], so distinct slots never race. *)
+  let results = Array.make n None in
+  let failures = Array.make n None in
+  let lock = Mutex.create () in
+  let next = ref 0 in
+  let claim () =
+    Mutex.lock lock;
+    let i = !next in
+    if i < n then incr next;
+    Mutex.unlock lock;
+    if i < n then Some i else None
+  in
+  let rec worker () =
+    match claim () with
+    | None -> ()
+    | Some i ->
+      (match f i with
+      | v -> results.(i) <- Some v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        failures.(i) <- Some (e, bt));
+      worker ()
+  in
+  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  (* Deterministic error propagation: the lowest failing index wins. *)
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    failures;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let run ?(jobs = 1) n f =
+  if n < 0 then invalid_arg "Pool.run: negative task count";
+  if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  let jobs = min jobs (max 1 n) in
+  if jobs = 1 then sequential n f else parallel ~jobs n f
+
+let map_array ?jobs f a = run ?jobs (Array.length a) (fun i -> f a.(i))
+
+let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))

@@ -1,0 +1,40 @@
+(** Deterministic domain pool for embarrassingly parallel task grids.
+
+    Every sweep in this repository is a grid of independent runs, each
+    fully keyed by its own inputs (an [(adversary, faulty, seed)] triple,
+    a faulty set, a link seed). [Pool] executes such grids on OCaml 5
+    [Domain]s with a guarantee the benches and tests lean on:
+
+    {b the result is independent of scheduling.} Tasks are identified by
+    their index in the grid; workers claim the next unclaimed index from
+    a [Mutex]-guarded queue (no work stealing, no reordering of results)
+    and write the result into a pre-sized slot array at that index. Since
+    each task derives all of its randomness from its own inputs (see
+    {!Rng}: every simulation seeds a fresh SplitMix64 stream), the slot
+    contents — and therefore the returned array — are byte-identical at
+    any [jobs] count, including [jobs = 1].
+
+    Exceptions raised by tasks are caught per-slot; after all workers
+    have drained the queue, the exception of the {e lowest} failing index
+    is re-raised (again independent of scheduling). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the sensible default for
+    CPU-bound grids. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ~jobs n f] computes [[| f 0; …; f (n-1) |]] on up to [jobs]
+    domains (the calling domain participates, so [jobs = 2] spawns one
+    extra domain). [jobs] defaults to [1], which runs sequentially in
+    index order on the calling domain — no domains are spawned. [jobs]
+    is clamped to [n]; [jobs < 1] or [n < 0] raise [Invalid_argument].
+
+    [f] must not rely on shared mutable state: task order within the
+    grid is unspecified for [jobs > 1] (only the {e placement} of
+    results is fixed). *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f a] is [Array.map f a], parallelised as {!run}. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f l] is [List.map f l], parallelised as {!run}. *)

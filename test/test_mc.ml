@@ -150,9 +150,10 @@ let test_evaluate_metrics_consistent () =
 let test_checker_vs_simulation () =
   let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
   let agg =
-    Sim.Harness.sweep ~spec
-      ~adversaries:[ Sim.Adversary.benign () ]
-      ~seeds:[ 1; 2; 3 ] ~rounds:40 ()
+    let config =
+      Sim.Harness.Config.(default |> with_seeds [ 1; 2; 3 ] |> with_rounds 40)
+    in
+    Sim.Harness.run ~config ~spec ~adversaries:[ Sim.Adversary.benign () ] ()
   in
   match agg.Sim.Harness.worst with
   | Some w -> check Alcotest.bool "sim <= exact T" true (w <= 1)
@@ -200,9 +201,11 @@ let test_synth_found_candidate_simulates () =
   | Mc.Synth.Found (cand, _) ->
     let spec = Mc.Synth.to_spec cand in
     let agg =
-      Sim.Harness.sweep ~spec
-        ~adversaries:[ Sim.Adversary.benign () ]
-        ~seeds:[ 1; 2; 3; 4 ] ~rounds:30 ()
+      let config =
+        Sim.Harness.Config.(
+          default |> with_seeds [ 1; 2; 3; 4 ] |> with_rounds 30)
+      in
+      Sim.Harness.run ~config ~spec ~adversaries:[ Sim.Adversary.benign () ] ()
     in
     check Alcotest.bool "stabilises in simulation" true agg.Sim.Harness.all_stabilized
 

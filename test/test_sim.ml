@@ -509,10 +509,11 @@ let test_spread_fault_set () =
 
 let test_sweep_aggregates () =
   let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
+  let config =
+    Sim.Harness.Config.(default |> with_seeds [ 1; 2 ] |> with_rounds 30)
+  in
   let agg =
-    Sim.Harness.sweep ~spec
-      ~adversaries:[ Sim.Adversary.benign () ]
-      ~seeds:[ 1; 2 ] ~rounds:30 ()
+    Sim.Harness.run ~config ~spec ~adversaries:[ Sim.Adversary.benign () ] ()
   in
   check Alcotest.bool "all stabilized" true agg.Sim.Harness.all_stabilized;
   check Alcotest.int "2 runs (one fault set, two seeds)" 2
@@ -567,9 +568,15 @@ let test_sweep_rejects_shorter_period () =
     (Sim.Stabilise.equal_verdict (Sim.Stabilise.Stabilized 16)
        (Sim.Stabilise.of_run ~min_suffix:5 run));
   let agg =
-    Sim.Harness.sweep ~spec:periodic_spec
+    let config =
+      Sim.Harness.Config.(
+        default |> with_fault_sets [ [] ]
+        |> with_seeds [ 1; 2; 3 ]
+        |> with_rounds 23)
+    in
+    Sim.Harness.run ~config ~spec:periodic_spec
       ~adversaries:[ Sim.Adversary.benign () ]
-      ~fault_sets:[ [] ] ~seeds:[ 1; 2; 3 ] ~rounds:23 ()
+      ()
   in
   List.iter
     (fun (o : Sim.Harness.outcome) ->
@@ -580,19 +587,99 @@ let test_sweep_rejects_shorter_period () =
     agg.Sim.Harness.outcomes;
   check Alcotest.bool "horizon shorter than one period raises" true
     (try
+       let config =
+         Sim.Harness.Config.(
+           default |> with_fault_sets [ [] ] |> with_seeds [ 1 ]
+           |> with_rounds 10)
+       in
        ignore
-         (Sim.Harness.sweep ~spec:periodic_spec
+         (Sim.Harness.run ~config ~spec:periodic_spec
             ~adversaries:[ Sim.Adversary.benign () ]
-            ~fault_sets:[ [] ] ~seeds:[ 1 ] ~rounds:10 ());
+            ());
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism: the Stdx.Pool contract says a sweep at any
+   jobs count is outcome-for-outcome identical to jobs = 1 — same
+   order, same verdicts, same rounds_simulated. Exercised on a
+   deterministic spec, a randomised one (coin flips are seeded per run
+   inside Engine.run, so scheduling cannot perturb them), and a boosted
+   tower. REPRO_JOBS lets CI force real concurrency. *)
+
+let parallel_jobs =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ -> 8)
+  | None -> 8
+
+let check_jobs_invariant ~name ~config ~spec ~adversaries =
+  let at jobs =
+    Sim.Harness.run
+      ~config:(Sim.Harness.Config.with_jobs jobs config)
+      ~spec ~adversaries ()
+  in
+  let seq = at 1 and par = at parallel_jobs in
+  check Alcotest.bool
+    (Printf.sprintf "%s: outcomes identical at jobs=1 and jobs=%d" name
+       parallel_jobs)
+    true
+    (seq = par)
+
+let test_parallel_matches_sequential_trivial () =
+  check_jobs_invariant ~name:"follow-leader"
+    ~config:
+      Sim.Harness.Config.(
+        default |> with_seeds [ 1; 2; 3 ] |> with_rounds 60)
+    ~spec:(Counting.Trivial.follow_leader ~n:4 ~c:3)
+    ~adversaries:(Sim.Adversary.standard_suite ())
+
+let test_parallel_matches_sequential_randomised () =
+  check_jobs_invariant ~name:"rand-counter"
+    ~config:
+      Sim.Harness.Config.(
+        default |> with_seeds [ 1; 2; 3; 4 ] |> with_rounds 600)
+    ~spec:(Counting.Rand_counter.make ~n:4 ~f:1)
+    ~adversaries:[ Sim.Adversary.benign (); Sim.Adversary.random_equivocate () ]
+
+let test_parallel_matches_sequential_boosted () =
+  let boosted =
+    Counting.Boost.construct ~inner:(Counting.Trivial.single ~c:2304) ~k:4
+      ~big_f:1 ~big_c:2
+  in
+  check_jobs_invariant ~name:"boosted A(4,1)"
+    ~config:
+      Sim.Harness.Config.(
+        default
+        |> with_fault_sets [ []; [ 0 ] ]
+        |> with_seeds [ 1; 2 ] |> with_rounds 1500)
+    ~spec:boosted.Counting.Boost.spec
+    ~adversaries:[ Sim.Adversary.split_brain (); Sim.Adversary.stuck () ]
+
+(* The deprecated [sweep] wrapper must agree with the Config-based
+   entry point it wraps. *)
+let test_legacy_sweep_wrapper () =
+  let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
+  let adversaries = [ Sim.Adversary.benign () ] in
+  let legacy =
+    (Sim.Harness.sweep [@alert "-deprecated"])
+      ~spec ~adversaries ~seeds:[ 1; 2 ] ~rounds:30 ()
+  in
+  let config =
+    Sim.Harness.Config.(default |> with_seeds [ 1; 2 ] |> with_rounds 30)
+  in
+  let fresh = Sim.Harness.run ~config ~spec ~adversaries () in
+  check Alcotest.bool "wrapper and Config entry point agree" true
+    (legacy = fresh)
+
 let test_sweep_streaming_saves_rounds () =
   let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
+  let config =
+    Sim.Harness.Config.(default |> with_seeds [ 1; 2 ] |> with_rounds 400)
+  in
   let agg =
-    Sim.Harness.sweep ~spec
-      ~adversaries:[ Sim.Adversary.benign () ]
-      ~seeds:[ 1; 2 ] ~rounds:400 ()
+    Sim.Harness.run ~config ~spec ~adversaries:[ Sim.Adversary.benign () ] ()
   in
   check Alcotest.bool "early exit well before the horizon" true
     (agg.Sim.Harness.total_rounds_simulated
@@ -659,5 +746,12 @@ let suite =
         case "resolve_min_suffix contract" test_resolve_min_suffix;
         case "shorter-period counter rejected" test_sweep_rejects_shorter_period;
         case "streaming sweep saves rounds" test_sweep_streaming_saves_rounds;
+        case "jobs determinism: follow-leader"
+          test_parallel_matches_sequential_trivial;
+        case "jobs determinism: randomised counter"
+          test_parallel_matches_sequential_randomised;
+        case "jobs determinism: boosted tower"
+          test_parallel_matches_sequential_boosted;
+        case "legacy sweep wrapper agrees" test_legacy_sweep_wrapper;
       ] );
   ]

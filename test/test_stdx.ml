@@ -240,6 +240,58 @@ let test_stats_order_with_infinities () =
     (Stdx.Stats.percentile 0.5 xs)
 
 (* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_pool_map_matches_list_map =
+  qcheck "Pool.map = List.map at any jobs count"
+    QCheck.(pair (list small_int) (int_range 1 8))
+    (fun (xs, jobs) ->
+      Stdx.Pool.map ~jobs (fun x -> x * x + 1) xs
+      = List.map (fun x -> x * x + 1) xs)
+
+let test_pool_run_in_order () =
+  let a = Stdx.Pool.run ~jobs:4 10 (fun i -> i * 3) in
+  check (Alcotest.array Alcotest.int) "slot i holds f i"
+    (Array.init 10 (fun i -> i * 3))
+    a
+
+let test_pool_map_array () =
+  let a = Stdx.Pool.map_array ~jobs:3 String.length [| "a"; "bb"; ""; "cccc" |] in
+  check (Alcotest.array Alcotest.int) "map_array" [| 1; 2; 0; 4 |] a
+
+let test_pool_empty_and_oversubscribed () =
+  check (Alcotest.array Alcotest.int) "n = 0" [||]
+    (Stdx.Pool.run ~jobs:4 0 (fun i -> i));
+  check (Alcotest.array Alcotest.int) "jobs > n" [| 0; 1 |]
+    (Stdx.Pool.run ~jobs:16 2 (fun i -> i))
+
+let test_pool_invalid_args () =
+  let raises name f =
+    check Alcotest.bool name true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises "jobs = 0 rejected" (fun () -> Stdx.Pool.run ~jobs:0 3 (fun i -> i));
+  raises "negative n rejected" (fun () ->
+      Stdx.Pool.run ~jobs:2 (-1) (fun i -> i))
+
+let test_pool_propagates_lowest_failure () =
+  (* Several tasks fail; the pool must deterministically re-raise the
+     one with the lowest index, regardless of scheduling. *)
+  let observed =
+    try
+      ignore
+        (Stdx.Pool.run ~jobs:4 16 (fun i ->
+             if i mod 5 = 2 then raise (Boom i) else i));
+      None
+    with Boom i -> Some i
+  in
+  check (Alcotest.option Alcotest.int) "lowest failing index wins" (Some 2)
+    observed
+
+(* ------------------------------------------------------------------ *)
 (* Table                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -319,6 +371,15 @@ let suite =
         case "empty raises" test_stats_empty_raises;
         case "NaN rejected" test_stats_nan_rejected;
         case "total order with infinities" test_stats_order_with_infinities;
+      ] );
+    ( "stdx.pool",
+      [
+        test_pool_map_matches_list_map;
+        case "results land in index order" test_pool_run_in_order;
+        case "map_array" test_pool_map_array;
+        case "empty and oversubscribed" test_pool_empty_and_oversubscribed;
+        case "invalid arguments" test_pool_invalid_args;
+        case "lowest failing index re-raised" test_pool_propagates_lowest_failure;
       ] );
     ( "stdx.table",
       [
