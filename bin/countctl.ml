@@ -305,6 +305,107 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(ret (const run $ algo_arg $ sweep_flags))
 
+let chaos_cmd =
+  let doc =
+    "Run a chaos campaign: random time-varying fault schedules (phases \
+     with their own faulty set and adversary, plus transient state \
+     corruption), reporting per-phase re-stabilisation and recovery \
+     times. Exits non-zero if any phase fails to re-stabilise."
+  in
+  let campaigns_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "campaigns" ] ~docv:"N"
+          ~doc:
+            "Random schedules per campaign, generated from schedule seeds \
+             1..$(docv); each is run once per --seeds entry.")
+  in
+  let phases_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "phases" ] ~docv:"P"
+          ~doc:"Phases per schedule (each with its own faulty set/adversary).")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "events" ] ~docv:"E"
+          ~doc:"Transient corruption events per schedule.")
+  in
+  let max_victims_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-victims" ] ~docv:"K"
+          ~doc:"Max correct nodes corrupted per transient event.")
+  in
+  let run levels corollary1 modulus campaigns phases events max_victims opts =
+    match plan_tower levels corollary1 modulus with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok tower ->
+      let (Algo.Spec.Packed spec) = Counting.Build.tower tower in
+      if campaigns < 1 then `Error (false, "--campaigns must be >= 1")
+      else if phases < 1 then `Error (false, "--phases must be >= 1")
+      else if events < 0 then `Error (false, "--events must be >= 0")
+      else if max_victims < 1 then `Error (false, "--max-victims must be >= 1")
+      else begin
+        (* --rounds is the base phase duration here: each phase lasts
+           rounds..2*rounds-1, so a schedule's horizon is phase-count
+           dependent rather than fixed. *)
+        let phase_rounds = Option.value opts.rounds ~default:600 in
+        let run_seeds = opts.seeds in
+        let min_suffix = opts.min_suffix in
+        let jobs = opts.jobs in
+        let config =
+          let open Sim.Harness.Chaos.Config in
+          let c =
+            default |> with_campaigns campaigns |> with_phases phases
+            |> with_events events |> with_max_victims max_victims
+            |> with_phase_rounds phase_rounds |> with_jobs jobs
+          in
+          let c = match run_seeds with Some s -> with_seeds s c | None -> c in
+          match min_suffix with Some m -> with_min_suffix m c | None -> c
+        in
+        let adversaries =
+          Sim.Adversary.standard_suite ()
+          @ [ Sim.Adversary.greedy_confusion ~pool:2 () ]
+        in
+        match Sim.Harness.Chaos.run ~config ~spec ~adversaries () with
+        | exception Invalid_argument m -> `Error (false, m)
+        | agg ->
+        Printf.printf "%s\n" spec.Algo.Spec.name;
+        let last_schedule = ref (-1) in
+        List.iter
+          (fun (o : Sim.Harness.Chaos.outcome) ->
+            if o.Sim.Harness.Chaos.schedule_seed <> !last_schedule then begin
+              last_schedule := o.Sim.Harness.Chaos.schedule_seed;
+              Printf.printf "campaign %d: %s\n"
+                o.Sim.Harness.Chaos.schedule_seed o.Sim.Harness.Chaos.schedule
+            end;
+            (match o.Sim.Harness.Chaos.worst_recovery with
+            | Some w ->
+              Printf.printf "  seed %d: recovered every phase, worst %d rounds"
+                o.Sim.Harness.Chaos.run_seed w
+            | None ->
+              Printf.printf "  seed %d: FAILED to re-stabilise"
+                o.Sim.Harness.Chaos.run_seed);
+            Printf.printf " (%d/%d rounds simulated)\n"
+              o.Sim.Harness.Chaos.rounds_simulated o.Sim.Harness.Chaos.horizon)
+          agg.Sim.Harness.Chaos.outcomes;
+        Format.printf "%a@." Sim.Harness.Chaos.pp_aggregate agg;
+        if agg.Sim.Harness.Chaos.all_recovered then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d phase verdict(s) failed to re-stabilise"
+                agg.Sim.Harness.Chaos.phase_failures )
+      end
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      ret
+        (const run $ levels_arg $ corollary_f_arg $ modulus_arg $ campaigns_arg
+       $ phases_arg $ events_arg $ max_victims_arg $ sweep_flags))
+
 let adversaries_cmd =
   let doc = "List the available adversary strategies." in
   let run () =
@@ -319,4 +420,7 @@ let adversaries_cmd =
 let () =
   let doc = "self-stabilising Byzantine synchronous counting toolbox" in
   let info = Cmd.info "countctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ plan_cmd; run_cmd; verify_cmd; adversaries_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ plan_cmd; run_cmd; chaos_cmd; verify_cmd; adversaries_cmd ]))

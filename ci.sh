@@ -10,10 +10,21 @@ dune runtest
 # multi-domain path even when the default jobs count is 1.
 REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.pool' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness' -q
+REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness.chaos' -q
+
+# Chaos smoke: a fixed-seed campaign on A(4,1) must re-stabilise after
+# every scheduled perturbation (countctl exits non-zero otherwise), and
+# must do so identically across worker domains.
+dune exec bin/countctl.exe -- chaos --corollary1 1 --campaigns 2 \
+  --phases 2 --events 1 --rounds 400 --seeds 1 --jobs 2 > /dev/null
+
+# Regenerate the chaos recovery distributions so the JSON lint below
+# covers a fresh BENCH_chaos.json.
+dune exec bench/main.exe -- chaos > /dev/null
 
 # The bench logs must always be well-formed JSON (the at_exit flush is
 # crash-safe; a malformed file means that guarantee broke).
-for log in BENCH_sweep.json BENCH_parallel.json; do
+for log in BENCH_sweep.json BENCH_parallel.json BENCH_chaos.json; do
   if [ -f "$log" ]; then
     dune exec bin/jsonlint.exe -- "$log"
   fi

@@ -1,5 +1,8 @@
 (* Fault injection: sweep the whole adversary suite and several fault
-   placements against A(12,3), reporting stabilisation times.
+   placements against A(12,3), reporting stabilisation times — then
+   replay a chaos storyline (crash -> recover -> Byzantine burst) on a
+   time-varying fault schedule and watch the counter re-stabilise after
+   every perturbation.
 
      dune exec examples/fault_injection.exe
 
@@ -76,4 +79,67 @@ let () =
      Every entry is far below the %d-round worst-case bound: the bound is\n\
      driven by adversarial counter alignment, which random initial states\n\
      rarely approach.\n"
-    bound
+    bound;
+
+  (* ---------------------------------------------------------------- *)
+  (* Chaos storyline: the fault pattern changes over time. Block 1
+     crashes whole (stuck registers), gets repaired — but two correct
+     nodes reboot with garbage state mid-recovery — and finally a full
+     Byzantine budget bursts in, equivocating, spread one node per
+     block. Self-stabilisation means re-converging after each of these,
+     and the per-phase reports show it. *)
+  Printf.printf "\nChaos storyline: crash -> recover -> Byzantine burst\n\n";
+  let schedule =
+    {
+      Sim.Schedule.phases =
+        [
+          {
+            Sim.Schedule.adversary = Sim.Adversary.stuck ();
+            faulty = [ 4; 5; 6 ];
+            duration = 600;
+          };
+          {
+            Sim.Schedule.adversary = Sim.Adversary.benign ();
+            faulty = [];
+            duration = 600;
+          };
+          {
+            Sim.Schedule.adversary = Sim.Adversary.random_equivocate ();
+            faulty = [ 0; 5; 9 ];
+            duration = 800;
+          };
+        ];
+      events = [ { Sim.Schedule.round = 900; victims = 2 } ];
+    }
+  in
+  Printf.printf "schedule: %s\n\n" (Sim.Schedule.describe schedule);
+  let outcome =
+    Sim.Engine.run_schedule ~mode:Sim.Engine.Full_horizon ~spec ~schedule
+      ~seed:1 ()
+  in
+  let story = Stdx.Table.create
+      [ "phase"; "adversary"; "faulty"; "rounds"; "perturbed"; "recovery" ]
+  in
+  List.iter
+    (fun (r : Sim.Engine.phase_report) ->
+      Stdx.Table.add_row story
+        [
+          Stdx.Table.cell_int r.Sim.Engine.phase;
+          r.Sim.Engine.adversary;
+          "[" ^ String.concat ";" (List.map string_of_int r.Sim.Engine.faulty)
+          ^ "]";
+          Printf.sprintf "%d-%d" r.Sim.Engine.start_round
+            (r.Sim.Engine.end_round - 1);
+          Printf.sprintf "%dx, last @%d" r.Sim.Engine.perturbations
+            r.Sim.Engine.last_perturbation;
+          (match r.Sim.Engine.recovery with
+          | Some rec_t -> Printf.sprintf "%d rounds" rec_t
+          | None -> "FAILED");
+        ])
+    outcome.Sim.Engine.phases;
+  Stdx.Table.print story;
+  Printf.printf
+    "\nEach phase's recovery counts rounds from its last perturbation\n\
+     (phase entry, or a transient corruption like the 2-node reboot at\n\
+     round 900) until the counter is certifiably counting again — the\n\
+     re-stabilisation property the static table above cannot show.\n"

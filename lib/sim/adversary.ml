@@ -8,7 +8,7 @@ type 's crafter = {
     's array array;
 }
 
-type 's t = { name : string; fresh : unit -> 's crafter }
+type 's t = { name : string; benign : bool; fresh : unit -> 's crafter }
 
 let name t = t.name
 
@@ -25,6 +25,7 @@ let matrix ~n ~faulty msg =
 let benign () =
   {
     name = "benign";
+    benign = true;
     fresh =
       (fun () ->
         {
@@ -38,6 +39,7 @@ let benign () =
 let stuck () =
   {
     name = "stuck";
+    benign = false;
     fresh =
       (fun () ->
         let frozen = ref None in
@@ -60,6 +62,7 @@ let stuck () =
 let random_consistent () =
   {
     name = "random-consistent";
+    benign = false;
     fresh =
       (fun () ->
         {
@@ -74,6 +77,7 @@ let random_consistent () =
 let random_equivocate () =
   {
     name = "random-equivocate";
+    benign = false;
     fresh =
       (fun () ->
         {
@@ -87,6 +91,7 @@ let random_equivocate () =
 let mimic ~offset () =
   {
     name = Printf.sprintf "mimic(+%d)" offset;
+    benign = false;
     fresh =
       (fun () ->
         {
@@ -108,6 +113,7 @@ let mimic ~offset () =
 let split_brain () =
   {
     name = "split-brain";
+    benign = false;
     fresh =
       (fun () ->
         {
@@ -143,8 +149,10 @@ let history_push history ~keep states =
   history := take keep (Array.copy states :: !history)
 
 let stale ~delay () =
+  if delay < 0 then invalid_arg "Adversary.stale: negative delay";
   {
     name = Printf.sprintf "stale(%d)" delay;
+    benign = false;
     fresh =
       (fun () ->
         let history = ref [] in
@@ -159,8 +167,10 @@ let stale ~delay () =
   }
 
 let replay_correct ~delay () =
+  if delay < 0 then invalid_arg "Adversary.replay_correct: negative delay";
   {
     name = Printf.sprintf "replay-correct(%d)" delay;
+    benign = false;
     fresh =
       (fun () ->
         let history = ref [] in
@@ -181,6 +191,7 @@ let replay_correct ~delay () =
 let flip_flop () =
   {
     name = "flip-flop";
+    benign = false;
     fresh =
       (fun () ->
         let pair = ref None in
@@ -210,6 +221,7 @@ let distinct_count compare values =
 let greedy_confusion ~pool () =
   {
     name = Printf.sprintf "greedy-confusion(%d)" pool;
+    benign = false;
     fresh =
       (fun () ->
         {
@@ -277,5 +289,4 @@ let standard_suite () =
     flip_flop ();
   ]
 
-let hostile_suite () =
-  List.filter (fun a -> a.name <> "benign") (standard_suite ())
+let hostile_suite () = List.filter (fun a -> not a.benign) (standard_suite ())

@@ -27,6 +27,10 @@ type 's crafter = {
 
 type 's t = {
   name : string;
+  benign : bool;
+      (** Structural marker for non-attacking strategies: [true] only for
+          {!benign}. Suite membership ({!hostile_suite}) keys on this tag,
+          not on the display name. *)
   fresh : unit -> 's crafter;
       (** A new stateful crafter per run (history buffers etc.). *)
 }
@@ -64,12 +68,17 @@ val split_brain : unit -> 's t
 
 val stale : delay:int -> unit -> 's t
 (** Replay the faulty node's own true state from [delay] rounds ago
-    (a frozen/laggy subsystem). *)
+    (a frozen/laggy subsystem). [delay = 0] is truthful; in the first
+    [delay] rounds, before enough history exists, the current state is
+    sent (the history fallback). Raises [Invalid_argument] on negative
+    [delay]. *)
 
 val replay_correct : delay:int -> unit -> 's t
 (** Replay a *correct* node's state from [delay] rounds ago: stale but
     internally consistent information. With an empty correct set (n = f),
-    replays the faulty node's own old state. *)
+    replays the faulty node's own old state. Same [delay] contract as
+    {!stale}: [>= 0] (raises [Invalid_argument] otherwise), current state
+    until history fills. *)
 
 val flip_flop : unit -> 's t
 (** Alternate between two random states drawn once at the start, switching
@@ -90,4 +99,4 @@ val standard_suite : unit -> 's t list
     separately because of its cost.) *)
 
 val hostile_suite : unit -> 's t list
-(** [standard_suite] minus [benign]. *)
+(** [standard_suite] minus the strategies tagged [benign]. *)

@@ -1,5 +1,29 @@
 type mode = Streaming | Full_horizon
 
+type phase_report = {
+  phase : int;
+  adversary : string;
+  faulty : int list;
+  start_round : int;
+  end_round : int;
+  perturbations : int;
+  last_perturbation : int;
+  verdict : Online.verdict;
+  recovery : int option;
+}
+
+type 's schedule_outcome = {
+  phases : phase_report list;
+  verdict : Online.verdict;
+  rounds_simulated : int;
+  early_exit : bool;
+  horizon : int;
+  final_states : 's array;
+  recent_outputs : (int * int array) list;
+  messages_per_round : int;
+  bits_per_round : int;
+}
+
 type 's outcome = {
   verdict : Online.verdict;
   rounds_simulated : int;
@@ -13,52 +37,129 @@ type 's outcome = {
 }
 
 let validate_faulty ~n ~f faulty =
-  let sorted = List.sort_uniq Int.compare faulty in
-  if List.length sorted <> List.length faulty then
-    invalid_arg "Engine.run: duplicate faulty ids";
-  if List.exists (fun v -> v < 0 || v >= n) faulty then
-    invalid_arg "Engine.run: faulty id out of range";
-  if List.length faulty > f then
-    invalid_arg
-      (Printf.sprintf "Engine.run: %d faulty nodes but resilience is %d"
-         (List.length faulty) f);
-  Array.of_list sorted
+  Schedule.validate_faulty ~who:"Engine.run" ~n ~f faulty
 
-let run ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
-    ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t) ~faulty ~rounds
-    ~seed () =
+let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
+    ~(spec : 's Algo.Spec.t) ~(schedule : 's Schedule.t) ~seed () =
   let n = spec.Algo.Spec.n in
-  let min_suffix = Min_suffix.clamp ~c:spec.Algo.Spec.c ~rounds min_suffix in
-  let faulty = validate_faulty ~n ~f:spec.Algo.Spec.f faulty in
-  let is_faulty = Array.make n false in
-  Array.iter (fun v -> is_faulty.(v) <- true) faulty;
-  (* RNG stream layout is identical to the historical [Network.run], so a
-     streamed run and a full-trace run of the same seed are the same
-     execution, round for round. *)
+  let schedule = Schedule.validate ~spec schedule in
+  let phases = Array.of_list schedule.Schedule.phases in
+  let num_phases = Array.length phases in
+  let starts = Array.make num_phases 0 in
+  for i = 1 to num_phases - 1 do
+    starts.(i) <- starts.(i - 1) + phases.(i - 1).Schedule.duration
+  done;
+  let total = Schedule.total_rounds schedule in
+  let min_suffix =
+    Min_suffix.clamp ~c:spec.Algo.Spec.c ~rounds:total min_suffix
+  in
+  (* RNG stream layout extends the historical [run]/[Network.run] layout
+     (init, adversary, per-node) with one corruption stream split {e
+     last}, so a single-phase schedule is byte-for-byte the same
+     execution as the static run of the same seed. *)
   let master = Stdx.Rng.create seed in
   let init_rng = Stdx.Rng.split master in
   let adv_rng = Stdx.Rng.split master in
   let node_rng = Array.init n (fun _ -> Stdx.Rng.split master) in
+  let corrupt_rng = Stdx.Rng.split master in
   let initial =
     match init with
     | Some states ->
       if Array.length states <> n then
-        invalid_arg "Engine.run: init has wrong length";
+        invalid_arg "Engine.run_schedule: init has wrong length";
       Array.copy states
     | None -> Array.init n (fun _ -> spec.Algo.Spec.random_state init_rng)
   in
-  let correct =
-    List.filter (fun v -> not is_faulty.(v)) (List.init n (fun i -> i))
+  (* Per-phase fault bookkeeping, refreshed at every phase boundary. *)
+  let faulty = ref [||] in
+  let correct = ref [] in
+  let crafter = ref (phases.(0).Schedule.adversary.Adversary.fresh ()) in
+  let enter_phase i =
+    let p = phases.(i) in
+    let fa =
+      Schedule.validate_faulty ~who:"Engine.run_schedule" ~n
+        ~f:spec.Algo.Spec.f p.Schedule.faulty
+    in
+    let is_faulty = Array.make n false in
+    Array.iter (fun v -> is_faulty.(v) <- true) fa;
+    faulty := fa;
+    correct := List.filter (fun v -> not is_faulty.(v)) (List.init n Fun.id);
+    crafter := p.Schedule.adversary.Adversary.fresh ()
   in
+  enter_phase 0;
   let detector =
-    Online.create ?window ~c:spec.Algo.Spec.c ~correct ~min_suffix ()
+    Online.create ?window ~c:spec.Algo.Spec.c ~correct:!correct ~min_suffix ()
   in
-  let crafter = adversary.Adversary.fresh () in
+  let pending = ref schedule.Schedule.events in
+  let reports = ref [] in
+  (* Phase entry itself is a perturbation: the phase inherits whatever
+     states the previous phase (or the arbitrary initialisation, for
+     phase 0) left behind. *)
+  let last_pert = ref 0 in
+  let pert_count = ref 1 in
   let current = ref initial in
   let t = ref 0 in
   let stop = ref false in
   let early = ref false in
+  let phase_idx = ref 0 in
+  let finish_phase ~end_round =
+    let verdict = Online.verdict detector in
+    let recovery =
+      match verdict with
+      | Online.Stabilized s -> Some (s - !last_pert)
+      | Online.Not_stabilized -> None
+    in
+    reports :=
+      {
+        phase = !phase_idx;
+        adversary = Adversary.name phases.(!phase_idx).Schedule.adversary;
+        faulty = Array.to_list !faulty;
+        start_round = starts.(!phase_idx);
+        end_round;
+        perturbations = !pert_count;
+        last_perturbation = !last_pert;
+        verdict;
+        recovery;
+      }
+      :: !reports
+  in
   while not !stop do
+    (* Phase boundary: the outgoing phase's verdict is frozen before the
+       boundary row is observed under the incoming fault pattern. A
+       while-loop so zero-duration phases still produce reports. *)
+    while !phase_idx + 1 < num_phases && !t = starts.(!phase_idx + 1) do
+      finish_phase ~end_round:!t;
+      incr phase_idx;
+      enter_phase !phase_idx;
+      Online.reset ~correct:!correct detector;
+      last_pert := !t;
+      pert_count := 1
+    done;
+    (* Transient corruption strikes before the round's row is observed.
+       Corrupt a copy: full traces already materialised by a [trace] hook
+       hold the genuine pre-event rows. *)
+    let rec apply_events () =
+      match !pending with
+      | { Schedule.round; victims } :: rest when round = !t ->
+        pending := rest;
+        let correct_arr = Array.of_list !correct in
+        let k = min victims (Array.length correct_arr) in
+        if k > 0 then begin
+          let cur = Array.copy !current in
+          List.iter
+            (fun i ->
+              cur.(correct_arr.(i)) <- spec.Algo.Spec.random_state corrupt_rng)
+            (Stdx.Rng.sample_without_replacement corrupt_rng k
+               (Array.length correct_arr));
+          current := cur
+        end;
+        Online.reset detector;
+        last_pert := !t;
+        incr pert_count;
+        apply_events ()
+      | _ -> ()
+    in
+    apply_events ();
     let cur = !current in
     (match probe with Some p -> p ~round:!t ~states:cur | None -> ());
     let outs = Array.mapi (fun v s -> spec.Algo.Spec.output ~self:v s) cur in
@@ -66,17 +167,22 @@ let run ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
     | Some tr -> tr ~round:!t ~states:cur ~outputs:outs
     | None -> ());
     Online.observe detector ~round:!t outs;
-    if mode = Streaming && Online.stabilised detector then begin
-      early := !t < rounds;
+    if
+      mode = Streaming
+      && !phase_idx = num_phases - 1
+      && !pending = []
+      && Online.stabilised detector
+    then begin
+      early := !t < total;
       stop := true
     end
-    else if !t >= rounds then stop := true
+    else if !t >= total then stop := true
     else begin
       let crafted =
-        if Array.length faulty = 0 then [||]
+        if Array.length !faulty = 0 then [||]
         else
-          crafter.Adversary.craft ~spec ~rng:adv_rng ~round:!t ~states:cur
-            ~faulty
+          !crafter.Adversary.craft ~spec ~rng:adv_rng ~round:!t ~states:cur
+            ~faulty:!faulty
       in
       (* Per-recipient view: truth everywhere, overridden on faulty slots. *)
       let next =
@@ -84,22 +190,52 @@ let run ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
             let received = Array.copy cur in
             Array.iteri
               (fun fi sender -> received.(sender) <- crafted.(fi).(v))
-              faulty;
+              !faulty;
             spec.Algo.Spec.transition ~self:v ~rng:node_rng.(v) received)
       in
       current := next;
       incr t
     end
   done;
+  finish_phase ~end_round:(!t + 1);
   let messages_per_round = n * (n - 1) in
   {
+    phases = List.rev !reports;
     verdict = Online.verdict detector;
     rounds_simulated = !t;
     early_exit = !early;
-    horizon = rounds;
+    horizon = total;
     final_states = !current;
     recent_outputs = Online.recent detector;
-    faulty;
     messages_per_round;
     bits_per_round = messages_per_round * spec.Algo.Spec.state_bits;
+  }
+
+let run ?probe ?trace ?init ?mode ?min_suffix ?window
+    ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t) ~faulty ~rounds
+    ~seed () =
+  let n = spec.Algo.Spec.n in
+  (* Validate eagerly so error messages keep their historical prefix. *)
+  let faulty_arr =
+    Schedule.validate_faulty ~who:"Engine.run" ~n ~f:spec.Algo.Spec.f faulty
+  in
+  (match init with
+  | Some states when Array.length states <> n ->
+    invalid_arg "Engine.run: init has wrong length"
+  | _ -> ());
+  let schedule = Schedule.static ~adversary ~faulty ~rounds in
+  let o =
+    run_schedule ?probe ?trace ?init ?mode ?min_suffix ?window ~spec ~schedule
+      ~seed ()
+  in
+  {
+    verdict = o.verdict;
+    rounds_simulated = o.rounds_simulated;
+    early_exit = o.early_exit;
+    horizon = rounds;
+    final_states = o.final_states;
+    recent_outputs = o.recent_outputs;
+    faulty = faulty_arr;
+    messages_per_round = o.messages_per_round;
+    bits_per_round = o.bits_per_round;
   }

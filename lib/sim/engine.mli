@@ -37,6 +37,44 @@ type mode =
   | Streaming  (** early-exit once the verdict is [Stabilized] *)
   | Full_horizon  (** always simulate the whole horizon *)
 
+type phase_report = {
+  phase : int;  (** index into the schedule's phase list *)
+  adversary : string;
+  faulty : int list;  (** validated, sorted faulty ids of this phase *)
+  start_round : int;
+  end_round : int;
+      (** output rows [start_round, end_round) were observed under this
+          phase; for the final phase, [end_round = rounds_simulated + 1] *)
+  perturbations : int;
+      (** perturbations absorbed: 1 for the phase entry itself (inherited
+          arbitrary states) plus one per transient event in the phase *)
+  last_perturbation : int;
+      (** round of the last perturbation — the reference point of
+          [recovery] *)
+  verdict : Online.verdict;
+      (** re-stabilisation verdict over this phase's own rows only: the
+          detector is reset at every perturbation, so [Stabilized s]
+          certifies a clean counting suffix starting at [s >=
+          last_perturbation] with at least [min_suffix] clean steps
+          observed {e before the phase ended} *)
+  recovery : int option;
+      (** rounds from the last perturbation to stable counting,
+          [s - last_perturbation]; [None] iff the phase did not
+          re-stabilise within its duration *)
+}
+
+type 's schedule_outcome = {
+  phases : phase_report list;  (** one report per phase, in order *)
+  verdict : Online.verdict;  (** the final phase's verdict *)
+  rounds_simulated : int;
+  early_exit : bool;
+  horizon : int;  (** [Schedule.total_rounds] *)
+  final_states : 's array;
+  recent_outputs : (int * int array) list;
+  messages_per_round : int;
+  bits_per_round : int;
+}
+
 type 's outcome = {
   verdict : Online.verdict;
   rounds_simulated : int;
@@ -80,6 +118,42 @@ val run :
     [recent_outputs] (default 8). Raises [Invalid_argument] on invalid
     faulty sets or [init] length, like {!Network.run}. *)
 
+val run_schedule :
+  ?probe:(round:int -> states:'s array -> unit) ->
+  ?trace:(round:int -> states:'s array -> outputs:int array -> unit) ->
+  ?init:'s array ->
+  ?mode:mode ->
+  ?min_suffix:int ->
+  ?window:int ->
+  spec:'s Algo.Spec.t ->
+  schedule:'s Schedule.t ->
+  seed:int ->
+  unit ->
+  's schedule_outcome
+(** Execute a time-varying fault {!Schedule}: at every phase boundary the
+    faulty set is re-validated, the incoming adversary gets a fresh
+    crafter, and the {!Online} detector is reset (with the new correct
+    set); each transient event corrupts up to [victims] correct nodes'
+    states to spec-random values before that round's row is observed
+    (traces keep pre-event rows — the corruption happens on a copy).
+    Every perturbation restarts the recovery clock, so each
+    {!phase_report} carries the phase's own re-stabilisation verdict and
+    recovery time rather than one global verdict.
+
+    [min_suffix] is clamped against the schedule's total horizon.
+    {!Streaming} mode early-exits only once the final phase has
+    re-stabilised and no events remain — earlier phases always run to
+    their boundary so every report is over the phase's full duration.
+
+    The RNG stream layout extends {!run}'s with one extra corruption
+    stream, split after the per-node streams: a single-phase, no-event
+    schedule is therefore the {e same execution} as the static {!run}
+    with the same [(spec, adversary, faulty, rounds, seed)] — identical
+    verdict, [rounds_simulated] and final states (enforced by a
+    differential test). Raises [Invalid_argument] on invalid schedules
+    ({!Schedule.validate}) or [init] length. *)
+
 val validate_faulty : n:int -> f:int -> int list -> int array
-(** Shared faulty-set validation: sorted array, or [Invalid_argument] on
-    duplicates, out-of-range ids, or more than [f] members. *)
+(** Shared faulty-set validation (delegates to {!Schedule.validate_faulty}
+    with this module's error prefix): sorted array, or [Invalid_argument]
+    on duplicates, out-of-range ids, or more than [f] members. *)

@@ -135,6 +135,215 @@ let sweep ?fault_sets ?seeds ?min_suffix ?mode ?jobs ~spec ~adversaries
   in
   run ~config ~spec ~adversaries ()
 
+module Chaos = struct
+  module Config = struct
+    type t = {
+      campaigns : int;
+      phases : int;
+      phase_rounds : int;
+      events : int;
+      max_victims : int;
+      seeds : int list;
+      min_suffix : int option;
+      mode : Engine.mode;
+      jobs : int;
+    }
+
+    let default =
+      {
+        campaigns = 5;
+        phases = 3;
+        phase_rounds = 500;
+        events = 2;
+        max_victims = 2;
+        seeds = [ 1; 2; 3 ];
+        min_suffix = None;
+        mode = Engine.Streaming;
+        jobs = 1;
+      }
+
+    let with_campaigns campaigns t = { t with campaigns }
+    let with_phases phases t = { t with phases }
+    let with_phase_rounds phase_rounds t = { t with phase_rounds }
+    let with_events events t = { t with events }
+    let with_max_victims max_victims t = { t with max_victims }
+    let with_seeds seeds t = { t with seeds }
+    let with_min_suffix min_suffix t = { t with min_suffix = Some min_suffix }
+    let with_mode mode t = { t with mode }
+    let with_jobs jobs t = { t with jobs }
+  end
+
+  type outcome = {
+    schedule_seed : int;
+    schedule : string;
+    run_seed : int;
+    phases : Engine.phase_report list;
+    recovered : bool;
+    worst_recovery : int option;
+    rounds_simulated : int;
+    horizon : int;
+  }
+
+  type aggregate = {
+    outcomes : outcome list;
+    all_recovered : bool;
+    phase_verdicts : int;
+    phase_failures : int;
+    recoveries : int list;
+    worst_recovery : int option;
+    recovery_p50 : float option;
+    recovery_p90 : float option;
+    total_rounds_simulated : int;
+  }
+
+  let run ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries ()
+      =
+    let {
+      Config.campaigns;
+      phases;
+      phase_rounds;
+      events;
+      max_victims;
+      seeds;
+      min_suffix;
+      mode;
+      jobs;
+    } =
+      config
+    in
+    if campaigns < 1 then invalid_arg "Harness.Chaos.run: campaigns < 1";
+    if seeds = [] then invalid_arg "Harness.Chaos.run: no seeds";
+    (* Schedules (from schedule seeds 1..campaigns) and their resolved
+       min_suffix are fixed before the pool starts: campaign i / run seed
+       s is fully keyed by (i, s), so any [jobs] yields identical
+       outcomes, in grid order. *)
+    (* Keep events certifiable: a perturbation must leave at least
+       [min_suffix] observation rounds before its phase ends, or the
+       verdict would be vacuously Not_stabilized. The unclamped request
+       is an upper bound on any resolved min_suffix, so it is a safe
+       margin for every schedule. *)
+    let event_margin =
+      match min_suffix with
+      | Some m -> m
+      | None -> Min_suffix.default ~c:spec.Algo.Spec.c
+    in
+    let schedules =
+      Array.init campaigns (fun i ->
+          let schedule_seed = i + 1 in
+          let schedule =
+            Schedule.random ~spec ~adversaries ~phases ~phase_rounds ~events
+              ~max_victims ~event_margin ~seed:schedule_seed ()
+          in
+          let min_suffix =
+            Min_suffix.resolve ~c:spec.Algo.Spec.c
+              ~rounds:(Schedule.total_rounds schedule)
+              min_suffix
+          in
+          (schedule_seed, schedule, min_suffix))
+    in
+    let seeds = Array.of_list seeds in
+    let num_seeds = Array.length seeds in
+    let outcomes =
+      Stdx.Pool.run ~jobs (campaigns * num_seeds) (fun i ->
+          let schedule_seed, schedule, min_suffix =
+            schedules.(i / num_seeds)
+          in
+          let run_seed = seeds.(i mod num_seeds) in
+          let o =
+            Engine.run_schedule ~mode ~min_suffix ~spec ~schedule
+              ~seed:run_seed ()
+          in
+          let phases = o.Engine.phases in
+          let recovered =
+            List.for_all
+              (fun (r : Engine.phase_report) -> r.Engine.recovery <> None)
+              phases
+          in
+          let worst_recovery =
+            if recovered then
+              Some
+                (List.fold_left
+                   (fun acc (r : Engine.phase_report) ->
+                     match r.Engine.recovery with
+                     | Some v -> max acc v
+                     | None -> acc)
+                   0 phases)
+            else None
+          in
+          {
+            schedule_seed;
+            schedule = Schedule.describe schedule;
+            run_seed;
+            phases;
+            recovered;
+            worst_recovery;
+            rounds_simulated = o.Engine.rounds_simulated;
+            horizon = o.Engine.horizon;
+          })
+    in
+    let outcomes = Array.to_list outcomes in
+    let recoveries =
+      List.concat_map
+        (fun o ->
+          List.filter_map
+            (fun (r : Engine.phase_report) -> r.Engine.recovery)
+            o.phases)
+        outcomes
+    in
+    let phase_verdicts =
+      List.fold_left (fun acc o -> acc + List.length o.phases) 0 outcomes
+    in
+    let phase_failures = phase_verdicts - List.length recoveries in
+    let all_recovered = outcomes <> [] && phase_failures = 0 in
+    let worst_recovery =
+      if all_recovered && recoveries <> [] then
+        Some (List.fold_left max 0 recoveries)
+      else None
+    in
+    let pct p =
+      if recoveries = [] then None
+      else Some (Stdx.Stats.percentile p (List.map float_of_int recoveries))
+    in
+    {
+      outcomes;
+      all_recovered;
+      phase_verdicts;
+      phase_failures;
+      recoveries;
+      worst_recovery;
+      recovery_p50 = pct 0.5;
+      recovery_p90 = pct 0.9;
+      total_rounds_simulated =
+        List.fold_left (fun acc o -> acc + o.rounds_simulated) 0 outcomes;
+    }
+
+  let pp_aggregate ppf agg =
+    Format.fprintf ppf "%d runs, %d/%d phase verdicts recovered"
+      (List.length agg.outcomes)
+      (agg.phase_verdicts - agg.phase_failures)
+      agg.phase_verdicts;
+    (match agg.worst_recovery with
+    | Some w -> Format.fprintf ppf ", worst recovery %d" w
+    | None -> ());
+    (match (agg.recovery_p50, agg.recovery_p90) with
+    | Some p50, Some p90 ->
+      Format.fprintf ppf ", p50 %.0f, p90 %.0f" p50 p90
+    | _ -> ());
+    List.iter
+      (fun o ->
+        if not o.recovered then
+          List.iter
+            (fun (r : Engine.phase_report) ->
+              if r.Engine.recovery = None then
+                Format.fprintf ppf
+                  "@.  FAILED: campaign %d seed %d phase %d (%s, f=[%s])"
+                  o.schedule_seed o.run_seed r.Engine.phase r.Engine.adversary
+                  (String.concat ";"
+                     (List.map string_of_int r.Engine.faulty)))
+            o.phases)
+      agg.outcomes
+end
+
 let pp_aggregate ppf agg =
   let failures =
     List.filter

@@ -113,3 +113,84 @@ val sweep :
     signature (plus [?jobs]). New code should build a {!Config.t}. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit
+
+(** Chaos campaigns: random time-varying fault {!Schedule}s executed by
+    {!Engine.run_schedule}, aggregating per-phase recovery times.
+
+    A campaign is one random schedule (from schedule seeds
+    [1 .. campaigns], via {!Schedule.random}) executed once per run seed.
+    Everything a run needs is derived from its
+    [(schedule seed, run seed)] pair before the pool starts, so — like
+    {!run} — outcomes are identical at any [jobs] count, in grid order
+    (campaigns outermost, then run seeds). *)
+module Chaos : sig
+  (** Campaign configuration; build from {!Config.default} with the
+      [with_*] builders, like {!Harness.Config}. *)
+  module Config : sig
+    type t = {
+      campaigns : int;  (** random schedules, seeds [1..campaigns]; default 5 *)
+      phases : int;  (** phases per schedule; default 3 *)
+      phase_rounds : int;
+          (** base phase duration; each phase lasts
+              [phase_rounds .. 2 * phase_rounds) rounds; default 500 *)
+      events : int;  (** transient corruptions per schedule; default 2 *)
+      max_victims : int;  (** nodes corrupted per event, [1..]; default 2 *)
+      seeds : int list;  (** run seeds per schedule; default [\[1; 2; 3\]] *)
+      min_suffix : int option;
+          (** [None] = the {!Min_suffix} default, resolved per schedule
+              against its own total horizon with {!Min_suffix.resolve} *)
+      mode : Engine.mode;  (** default [Engine.Streaming] *)
+      jobs : int;  (** worker domains; any value, identical outcomes *)
+    }
+
+    val default : t
+
+    val with_campaigns : int -> t -> t
+    val with_phases : int -> t -> t
+    val with_phase_rounds : int -> t -> t
+    val with_events : int -> t -> t
+    val with_max_victims : int -> t -> t
+    val with_seeds : int list -> t -> t
+    val with_min_suffix : int -> t -> t
+    val with_mode : Engine.mode -> t -> t
+    val with_jobs : int -> t -> t
+  end
+
+  type outcome = {
+    schedule_seed : int;
+    schedule : string;  (** {!Schedule.describe} of the campaign's schedule *)
+    run_seed : int;
+    phases : Engine.phase_report list;
+    recovered : bool;  (** every phase re-stabilised *)
+    worst_recovery : int option;
+        (** max per-phase recovery time; [None] iff not [recovered] *)
+    rounds_simulated : int;
+    horizon : int;  (** the schedule's total rounds *)
+  }
+
+  type aggregate = {
+    outcomes : outcome list;  (** grid order: campaigns, then run seeds *)
+    all_recovered : bool;
+    phase_verdicts : int;  (** total phase reports across all runs *)
+    phase_failures : int;  (** phases that did not re-stabilise *)
+    recoveries : int list;  (** recovery times of all recovered phases *)
+    worst_recovery : int option;  (** [None] if any failure or no runs *)
+    recovery_p50 : float option;
+    recovery_p90 : float option;
+    total_rounds_simulated : int;
+  }
+
+  val run :
+    ?config:Config.t ->
+    spec:'s Algo.Spec.t ->
+    adversaries:'s Adversary.t list ->
+    unit ->
+    aggregate
+  (** Run the chaos campaign grid. [adversaries] is the pool
+      {!Schedule.random} draws each phase's strategy from (e.g.
+      [Adversary.standard_suite ()]). Raises [Invalid_argument] on an
+      empty adversary pool, [campaigns < 1], empty [seeds], or a schedule
+      horizon shorter than the spec's modulus ({!Min_suffix.resolve}). *)
+
+  val pp_aggregate : Format.formatter -> aggregate -> unit
+end

@@ -12,7 +12,7 @@ let pp_verdict ppf = function
 
 type t = {
   c : int;
-  correct : int array;
+  mutable correct : int array;
   min_suffix : int;
   window : int;
   mutable rounds_seen : int;  (* rows observed so far; last round = rounds_seen - 1 *)
@@ -76,6 +76,17 @@ let observe t ~round row =
 
 let rounds_seen t = t.rounds_seen
 let seam t = t.seam
+
+(* Moving the seam to the next expected round discards the entire clean
+   suffix observed so far: until that round is observed, [verdict] sees
+   [last - seam = -1 < min_suffix] and reports [Not_stabilized], and the
+   stale [last_agree]/[last_value] pair can only mark the step {e into}
+   the next row as dirty — which re-sets the seam to the same round. *)
+let reset ?correct t =
+  (match correct with
+  | Some c -> t.correct <- Array.of_list c
+  | None -> ());
+  t.seam <- t.rounds_seen
 
 let verdict t =
   if t.rounds_seen = 0 then Not_stabilized

@@ -50,6 +50,17 @@ val stabilised : t -> bool
 val seam : t -> int
 (** Start of the current clean counting suffix (0 if none observed). *)
 
+val reset : ?correct:int list -> t -> unit
+(** Reset-at-perturbation: discard all stabilisation evidence observed so
+    far by moving the seam to the next round to be observed, optionally
+    replacing the correct set ([?correct]) for subsequent rows — the
+    chaos engine calls this at phase boundaries (new faulty set) and at
+    transient corruption events. The round counter and the recent-rows
+    window are untouched: the detector keeps accepting consecutive rounds
+    and [verdict] is relative to the post-reset suffix only, so
+    [Stabilized s] after a reset implies a clean counting suffix of
+    [min_suffix] rounds that started at or after the perturbation. *)
+
 val rounds_seen : t -> int
 (** Number of rows observed. *)
 

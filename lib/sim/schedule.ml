@@ -1,0 +1,126 @@
+type 's phase = {
+  adversary : 's Adversary.t;
+  faulty : int list;
+  duration : int;
+}
+
+type event = { round : int; victims : int }
+type 's t = { phases : 's phase list; events : event list }
+
+let total_rounds t =
+  List.fold_left (fun acc p -> acc + p.duration) 0 t.phases
+
+let validate_faulty ?(who = "Schedule") ~n ~f faulty =
+  let sorted = List.sort_uniq Int.compare faulty in
+  if List.length sorted <> List.length faulty then
+    invalid_arg (who ^ ": duplicate faulty ids");
+  if List.exists (fun v -> v < 0 || v >= n) faulty then
+    invalid_arg (who ^ ": faulty id out of range");
+  if List.length faulty > f then
+    invalid_arg
+      (Printf.sprintf "%s: %d faulty nodes but resilience is %d" who
+         (List.length faulty) f);
+  Array.of_list sorted
+
+let validate ~(spec : 's Algo.Spec.t) t =
+  if t.phases = [] then invalid_arg "Schedule.validate: no phases";
+  let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
+  let phases =
+    List.mapi
+      (fun i p ->
+        if p.duration < 0 then
+          invalid_arg
+            (Printf.sprintf "Schedule.validate: phase %d has negative duration"
+               i);
+        let faulty =
+          Array.to_list
+            (validate_faulty
+               ~who:(Printf.sprintf "Schedule.validate: phase %d" i)
+               ~n ~f p.faulty)
+        in
+        { p with faulty })
+      t.phases
+  in
+  let total = total_rounds { t with phases } in
+  List.iter
+    (fun e ->
+      if e.victims < 0 then
+        invalid_arg "Schedule.validate: event with negative victims";
+      if e.round < 0 || e.round >= total then
+        invalid_arg
+          (Printf.sprintf
+             "Schedule.validate: event at round %d outside horizon %d" e.round
+             total))
+    t.events;
+  let events =
+    List.stable_sort (fun a b -> Int.compare a.round b.round) t.events
+  in
+  { phases; events }
+
+let static ~adversary ~faulty ~rounds =
+  { phases = [ { adversary; faulty; duration = rounds } ]; events = [] }
+
+let random ~(spec : 's Algo.Spec.t) ~adversaries ?(phases = 3)
+    ?(phase_rounds = 500) ?(events = 2) ?(max_victims = 2) ?(event_margin = 0)
+    ~seed () =
+  if phases < 1 then invalid_arg "Schedule.random: phases < 1";
+  if phase_rounds < 1 then invalid_arg "Schedule.random: phase_rounds < 1";
+  if events < 0 then invalid_arg "Schedule.random: events < 0";
+  if max_victims < 1 then invalid_arg "Schedule.random: max_victims < 1";
+  if event_margin < 0 then invalid_arg "Schedule.random: event_margin < 0";
+  if adversaries = [] then invalid_arg "Schedule.random: no adversaries";
+  let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
+  let rng = Stdx.Rng.create seed in
+  let phase_list =
+    List.init phases (fun _ ->
+        let adversary = Stdx.Rng.pick_list rng adversaries in
+        let size = Stdx.Rng.int rng (min f n + 1) in
+        let faulty = Stdx.Rng.sample_without_replacement rng size n in
+        let duration = phase_rounds + Stdx.Rng.int rng phase_rounds in
+        { adversary; faulty; duration })
+  in
+  let total = List.fold_left (fun acc p -> acc + p.duration) 0 phase_list in
+  (* Pull events that land too close to the end of their phase back so
+     that [event_margin] clean counting steps fit strictly after the
+     corrupted row (which can never itself start the clean suffix):
+     otherwise a perturbation near a phase boundary could not be
+     certified as recovered, whatever the algorithm. *)
+  let clamp_to_phase round =
+    let rec find start = function
+      | [] -> round
+      | p :: rest ->
+        if round < start + p.duration then
+          max start (min round (start + p.duration - 2 - event_margin))
+        else find (start + p.duration) rest
+    in
+    find 0 phase_list
+  in
+  let event_list =
+    List.init events (fun _ ->
+        {
+          round = clamp_to_phase (Stdx.Rng.int rng total);
+          victims = 1 + Stdx.Rng.int rng max_victims;
+        })
+  in
+  validate ~spec { phases = phase_list; events = event_list }
+
+let describe t =
+  let phase p =
+    Printf.sprintf "%s f=[%s] x%d"
+      (Adversary.name p.adversary)
+      (String.concat ";" (List.map string_of_int p.faulty))
+      p.duration
+  in
+  let body = String.concat " | " (List.map phase t.phases) in
+  let head =
+    Printf.sprintf "%d phases / %d rounds: %s" (List.length t.phases)
+      (total_rounds t) body
+  in
+  match t.events with
+  | [] -> head
+  | evs ->
+    Printf.sprintf "%s; events %s" head
+      (String.concat ", "
+         (List.map
+            (fun e -> Printf.sprintf "t=%d(k=%d)" e.round e.victims)
+            evs))

@@ -1,0 +1,85 @@
+(** Time-varying fault schedules — the chaos layer's description language.
+
+    The static engine entry point ({!Engine.run}) fixes one faulty set
+    and one adversary for the whole run. A {e schedule} instead describes
+    a run as a sequence of {!phase}s — each with its own faulty set,
+    adversary and duration — plus one-shot {!event}s that corrupt the
+    states of [victims] correct nodes to spec-random values at a given
+    round (bit flips / reboots in the circuit interpretation). This is
+    the fault model under which self-stabilisation actually earns its
+    keep: the engine ({!Engine.run_schedule}) re-validates the faulty set
+    and swaps the adversary's crafter at every phase boundary, applies
+    corruptions between rounds, and reports a {e per-phase}
+    re-stabilisation verdict and recovery time.
+
+    Schedules are plain data. Random schedules are generated
+    deterministically from a seed by {!random}, with every phase's faulty
+    set bounded by the spec's [f] — so a chaos campaign is reproducible
+    from its seed alone, at any [jobs] count (see {!Harness.Chaos}). *)
+
+type 's phase = {
+  adversary : 's Adversary.t;
+  faulty : int list;  (** bounded by the spec's [f]; may be empty *)
+  duration : int;  (** transition steps; [>= 0], normally [>= 1] *)
+}
+
+type event = {
+  round : int;
+      (** global round at which the corruption strikes, before the round's
+          outputs are observed; [0 <= round < total_rounds] *)
+  victims : int;
+      (** how many {e correct} nodes get their state overwritten with a
+          spec-random value; clamped to the number of correct nodes of the
+          enclosing phase at execution time *)
+}
+
+type 's t = { phases : 's phase list; events : event list }
+
+val total_rounds : 's t -> int
+(** Sum of phase durations — the schedule's horizon. Output rows
+    [0 .. total_rounds] are observed when executing it in full. *)
+
+val validate_faulty : ?who:string -> n:int -> f:int -> int list -> int array
+(** Shared faulty-set validation (historically [Engine.validate_faulty],
+    which now delegates here): returns the sorted array, or raises
+    [Invalid_argument] — prefixed with [who] — on duplicates, out-of-range
+    ids, or more than [f] members. *)
+
+val validate : spec:'s Algo.Spec.t -> 's t -> 's t
+(** Checks a schedule against a spec and returns it normalised (events
+    sorted by round, faulty sets sorted). Raises [Invalid_argument] if
+    there are no phases, a duration is negative, a faulty set fails
+    {!validate_faulty}, or an event has [victims < 0] or a round outside
+    [0 <= round < total_rounds]. *)
+
+val static : adversary:'s Adversary.t -> faulty:int list -> rounds:int -> 's t
+(** The degenerate one-phase, no-event schedule — exactly the static
+    fault model. [Engine.run] is [Engine.run_schedule] over [static]. *)
+
+val random :
+  spec:'s Algo.Spec.t ->
+  adversaries:'s Adversary.t list ->
+  ?phases:int ->
+  ?phase_rounds:int ->
+  ?events:int ->
+  ?max_victims:int ->
+  ?event_margin:int ->
+  seed:int ->
+  unit ->
+  's t
+(** Deterministic random schedule from a seed. Each of the [phases]
+    (default 3) phases draws an adversary uniformly from [adversaries], a
+    faulty set of uniform size in [0 .. f] sampled without replacement,
+    and a duration in [phase_rounds .. 2 * phase_rounds) (default
+    [phase_rounds] 500). [events] (default 2) transient corruptions are
+    placed uniformly over the horizon, each hitting [1 .. max_victims]
+    (default 2) correct nodes; an event landing within [event_margin]
+    (default 0) rounds of its phase's end is pulled back to the margin
+    (clamped to the phase start), so a re-stabilisation verdict has room
+    to be certified — {!Harness.Chaos} passes its [min_suffix] here. The
+    result is validated against [spec]. Equal seeds (and parameters)
+    yield equal schedules. *)
+
+val describe : 's t -> string
+(** One-line human/JSON-friendly rendering:
+    ["3 phases / 810 rounds: stuck f=[1;3] x300 | ... ; events t=120(k=2), ..."]. *)

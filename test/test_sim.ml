@@ -178,6 +178,128 @@ let test_hostile_suite_excludes_benign () =
        (fun a -> Sim.Adversary.name a <> "benign")
        (Sim.Adversary.hostile_suite ()))
 
+(* Satellite: hostile membership is structural (the [benign] tag), not a
+   string comparison — adding or renaming strategies cannot silently
+   change suite membership. *)
+let test_hostile_suite_structural () =
+  check Alcotest.bool "benign () carries the tag" true
+    (Sim.Adversary.benign ()).Sim.Adversary.benign;
+  let std = Sim.Adversary.standard_suite () in
+  check Alcotest.int "exactly one tagged strategy in the standard suite" 1
+    (List.length (List.filter (fun a -> a.Sim.Adversary.benign) std));
+  check
+    (Alcotest.list Alcotest.string)
+    "hostile_suite = standard_suite minus the tagged strategies"
+    (List.filter_map
+       (fun a ->
+         if a.Sim.Adversary.benign then None else Some (Sim.Adversary.name a))
+       std)
+    (List.map Sim.Adversary.name (Sim.Adversary.hostile_suite ()))
+
+(* Satellite: ~delay is validated at construction. A negative delay used
+   to fall through the history lookup to the truthful fallback — a
+   silently benign "attack". *)
+let test_delay_validated () =
+  let rejects label make =
+    check Alcotest.bool (label ^ ": negative delay rejected") true
+      (try
+         ignore (make ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  rejects "stale" (fun () -> Sim.Adversary.stale ~delay:(-1) ());
+  rejects "replay-correct" (fun () ->
+      Sim.Adversary.replay_correct ~delay:(-3) ())
+
+(* delay = 0 is legal and exactly truthful: the "old" state is the one
+   pushed this round. *)
+let test_stale_delay_zero_truthful () =
+  let spec = Algo.Combinators.with_claimed_resilience leader ~f:2 in
+  let crafter = (Sim.Adversary.stale ~delay:0 ()).Sim.Adversary.fresh () in
+  let rng = Stdx.Rng.create 5 in
+  List.iteri
+    (fun round states ->
+      let msgs =
+        crafter.Sim.Adversary.craft ~spec ~rng ~round ~states ~faulty:[| 1; 3 |]
+      in
+      check Alcotest.int
+        (Printf.sprintf "round %d: node 1 sends its current state" round)
+        states.(1)
+        msgs.(0).(0);
+      check Alcotest.int
+        (Printf.sprintf "round %d: node 3 sends its current state" round)
+        states.(3)
+        msgs.(1).(2))
+    [ [| 0; 1; 2; 3 |]; [| 4; 4; 4; 4 |]; [| 2; 0; 1; 3 |] ]
+
+(* The history fallback: before [delay] rounds of history exist, both
+   stale and replay-correct send current states; once the buffer fills,
+   they switch to the delayed ones. *)
+let test_delay_history_fallback () =
+  let spec = Algo.Combinators.with_claimed_resilience leader ~f:2 in
+  let rng = Stdx.Rng.create 5 in
+  let states_at r = [| 10 * r; 10 * r + 1; 10 * r + 2; 10 * r + 3 |] in
+  let stale = (Sim.Adversary.stale ~delay:2 ()).Sim.Adversary.fresh () in
+  let replay =
+    (Sim.Adversary.replay_correct ~delay:2 ()).Sim.Adversary.fresh ()
+  in
+  for round = 0 to 3 do
+    let states = states_at round in
+    let s =
+      stale.Sim.Adversary.craft ~spec ~rng ~round ~states ~faulty:[| 1; 3 |]
+    in
+    let r =
+      replay.Sim.Adversary.craft ~spec ~rng ~round ~states ~faulty:[| 1; 3 |]
+    in
+    let expect_round = if round >= 2 then round - 2 else round in
+    check Alcotest.int
+      (Printf.sprintf "stale round %d replays round %d" round expect_round)
+      (states_at expect_round).(1)
+      s.(0).(0);
+    (* correct ids are 0 and 2: faulty index 0 replays correct node 0,
+       faulty index 1 replays correct node 2 *)
+    check Alcotest.int
+      (Printf.sprintf "replay-correct round %d replays round %d" round
+         expect_round)
+      (states_at expect_round).(2)
+      r.(1).(0)
+  done
+
+(* Satellite QCheck property: every suite adversary (plus
+   greedy-confusion) crafts a |faulty| x n matrix and never raises, for
+   random (n, f, faulty) including the n = f edge. *)
+let test_craft_total_qcheck =
+  qcheck ~count:100 "craft is total: |faulty| x n, any (n, f, faulty)"
+    QCheck.(triple (int_range 1 6) (int_range 0 6) small_int)
+    (fun (n, f_raw, seed) ->
+      let f = f_raw mod (n + 1) in
+      let rng = Stdx.Rng.create seed in
+      let size = if f = 0 then 0 else Stdx.Rng.int rng (f + 1) in
+      let faulty =
+        Array.of_list (Stdx.Rng.sample_without_replacement rng size n)
+      in
+      let spec =
+        Algo.Combinators.with_claimed_resilience
+          (Counting.Trivial.follow_leader ~n ~c:4)
+          ~f
+      in
+      let states = Array.init n (fun _ -> spec.Algo.Spec.random_state rng) in
+      List.for_all
+        (fun adv ->
+          let crafter = adv.Sim.Adversary.fresh () in
+          let adv_rng = Stdx.Rng.split rng in
+          List.for_all
+            (fun round ->
+              let msgs =
+                crafter.Sim.Adversary.craft ~spec ~rng:adv_rng ~round ~states
+                  ~faulty
+              in
+              Array.length msgs = Array.length faulty
+              && Array.for_all (fun row -> Array.length row = n) msgs)
+            [ 0; 1; 2; 3 ])
+        (Sim.Adversary.standard_suite ()
+        @ [ Sim.Adversary.greedy_confusion ~pool:2 () ]))
+
 let test_greedy_confusion_runs () =
   let adv = Sim.Adversary.greedy_confusion ~pool:2 () in
   let msgs = craft_once adv in
@@ -708,6 +830,11 @@ let suite =
         case "mimic copies correct nodes" test_mimic_copies_correct;
         case "random equivocation varies" test_random_equivocate_varies;
         case "hostile suite excludes benign" test_hostile_suite_excludes_benign;
+        case "hostile suite is structural" test_hostile_suite_structural;
+        case "negative delay rejected" test_delay_validated;
+        case "stale delay 0 is truthful" test_stale_delay_zero_truthful;
+        case "delay history fallback" test_delay_history_fallback;
+        test_craft_total_qcheck;
         case "greedy confusion runs" test_greedy_confusion_runs;
         case "all nodes faulty: craft falls back" test_adversaries_all_faulty_craft;
         case "all nodes faulty: runs end to end" test_run_all_nodes_faulty;
