@@ -112,13 +112,16 @@ let run () =
     "C1: chaos campaigns - re-stabilisation under time-varying fault \
      schedules";
   let jobs = Bench_common.default_jobs () in
+  let metrics = Stdx.Metrics.create () in
   let results =
     List.map
       (fun s ->
         let (Algo.Spec.Packed spec) = s.packed in
         let cfg = config ~phase_rounds:s.phase_rounds ~jobs in
         let adversaries = Sim.Adversary.standard_suite () in
-        let agg = Sim.Harness.Chaos.run ~config:cfg ~spec ~adversaries () in
+        let agg =
+          Sim.Harness.Chaos.run ~metrics ~config:cfg ~spec ~adversaries ()
+        in
         (s, cfg, agg))
       (subjects ())
   in
@@ -166,8 +169,16 @@ let run () =
           agg.phase_failures)
     results;
   let oc = open_out json_path in
-  Printf.fprintf oc "{\n  \"experiment\": \"chaos\",\n  \"subjects\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map json_of_subject results));
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"chaos\",\n\
+    \  \"subjects\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    (String.concat ",\n" (List.map json_of_subject results))
+    (Stdx.Metrics.to_json (Stdx.Metrics.snapshot metrics));
   close_out oc;
   Printf.printf "\n[%d subject record(s) written to %s]\n" (List.length results)
     json_path

@@ -1,5 +1,11 @@
 (* Shared plumbing for the experiment harness. *)
 
+(* Process-wide bench registry: every [timed_sweep] and every
+   [measure_worst] harness run records into it, and the accumulated
+   snapshot is embedded as the "metrics" block of BENCH_sweep.json at
+   flush time. *)
+let metrics = Stdx.Metrics.create ()
+
 let section title =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n" bar title bar
@@ -113,7 +119,8 @@ let flush_sweep_log () =
     Printf.fprintf oc "{\n  \"dropped_partial_sweeps\": %d,\n  \"sweeps\": [\n"
       (List.length dropped);
     output_string oc (String.concat ",\n" (List.map json_of_record records));
-    output_string oc "\n  ]\n}\n";
+    Printf.fprintf oc "\n  ],\n  \"metrics\": %s\n}\n"
+      (Stdx.Metrics.to_json (Stdx.Metrics.snapshot metrics));
     close_out oc;
     Printf.printf "\n[%d sweep record(s) written to %s]\n"
       (List.length records) sweep_json_path
@@ -131,9 +138,7 @@ let timed_sweep ~label ~mode sweep =
     at_exit flush_sweep_log
   end;
   in_flight := label :: !in_flight;
-  let t0 = Unix.gettimeofday () in
-  let agg = sweep () in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let agg, wall_s = Stdx.Metrics.timed metrics "bench.sweep_wall_s" sweep in
   (match !in_flight with
   | l :: rest when String.equal l label -> in_flight := rest
   | other -> in_flight := List.filter (fun l -> not (String.equal l label)) other);
@@ -156,7 +161,7 @@ let measure_worst ?(seeds = [ 1; 2; 3 ]) ?(rounds = 4000)
   let label = match label with Some l -> l | None -> spec.Algo.Spec.name in
   let agg, _wall_s =
     timed_sweep ~label ~mode (fun () ->
-        Sim.Harness.run ~config ~spec ~adversaries ())
+        Sim.Harness.run ~metrics ~config ~spec ~adversaries ())
   in
   (agg.Sim.Harness.worst, agg)
 

@@ -18,19 +18,26 @@ let run () =
   let fault_sets = [ []; [ 0 ]; [ 2 ] ] in
   let seeds = [ 1; 2; 3 ] in
   let rounds = 4000 in
+  (* Local registry per jobs count: harness metrics must come out
+     identical (apart from wall-clock samples) regardless of jobs — the
+     snapshot of the parallel run is the one embedded in the JSON. *)
   let go jobs =
     let config =
       Sim.Harness.Config.(
         default |> with_fault_sets fault_sets |> with_seeds seeds
         |> with_rounds rounds |> with_jobs jobs)
     in
-    Bench_common.timed_sweep
-      ~label:(Printf.sprintf "a41-sweep-jobs-%d" jobs)
-      ~mode:Sim.Engine.Streaming
-      (fun () -> Sim.Harness.run ~config ~spec ~adversaries ())
+    let metrics = Stdx.Metrics.create () in
+    let agg, wall =
+      Bench_common.timed_sweep
+        ~label:(Printf.sprintf "a41-sweep-jobs-%d" jobs)
+        ~mode:Sim.Engine.Streaming
+        (fun () -> Sim.Harness.run ~metrics ~config ~spec ~adversaries ())
+    in
+    (agg, wall, Stdx.Metrics.snapshot metrics)
   in
-  let base, wall_1 = go 1 in
-  let par, wall_n = go ncores in
+  let base, wall_1, _ = go 1 in
+  let par, wall_n, par_metrics = go ncores in
   let parity = base.Sim.Harness.outcomes = par.Sim.Harness.outcomes in
   let runs = List.length base.Sim.Harness.outcomes in
   let speedup = wall_1 /. Float.max 1e-9 wall_n in
@@ -64,9 +71,11 @@ let run () =
     \    {\"jobs\": 1, \"wall_clock_s\": %.6f},\n\
     \    {\"jobs\": %d, \"wall_clock_s\": %.6f}\n\
     \  ],\n\
-    \  \"speedup\": %.3f\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"metrics\": %s\n\
      }\n"
-    rounds runs ncores parity wall_1 ncores wall_n speedup;
+    rounds runs ncores parity wall_1 ncores wall_n speedup
+    (Stdx.Metrics.to_json par_metrics);
   close_out oc;
   Printf.printf "[parallel sweep record written to %s]\n" json_path;
   if not parity then begin

@@ -91,6 +91,8 @@ type sweep_opts = {
   seeds : int list option;
   min_suffix : int option;
   jobs : int;
+  trace : string option;
+  metrics : bool;
 }
 
 let sweep_flags =
@@ -143,10 +145,57 @@ let sweep_flags =
              (default: the machine's recommended domain count). Results \
              are identical at any J.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured JSONL event trace (phase starts, \
+             corruption, detector resets, verdicts) to $(docv); analyse \
+             it with `countctl report'.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Collect engine/harness counters and histograms and print \
+             them as a table after the run.")
+  in
   Term.(
-    const (fun rounds seeds min_suffix jobs ->
-        { rounds; seeds; min_suffix; jobs })
-    $ rounds_arg $ seeds_arg $ min_suffix_arg $ jobs_arg)
+    const (fun rounds seeds min_suffix jobs trace metrics ->
+        { rounds; seeds; min_suffix; jobs; trace; metrics })
+    $ rounds_arg $ seeds_arg $ min_suffix_arg $ jobs_arg $ trace_arg
+    $ metrics_arg)
+
+(* Telemetry plumbing shared by run/verify/chaos: a metrics registry
+   when --metrics was given, a JSONL sink (prefixed with one [Meta]
+   header line) when --trace was given, and the metrics table printed
+   after the wrapped action returns. *)
+let with_telemetry ~meta opts
+    (f : metrics:Stdx.Metrics.t option -> trace:Sim.Trace.t option -> 'a) =
+  let metrics = if opts.metrics then Some (Stdx.Metrics.create ()) else None in
+  let go trace =
+    (match trace with
+    | Some tr when Sim.Trace.seams_on tr -> Sim.Trace.emit tr meta
+    | _ -> ());
+    let r = f ~metrics ~trace in
+    (match metrics with
+    | Some m ->
+      print_string
+        (Stdx.Table.to_string (Stdx.Metrics.to_table (Stdx.Metrics.snapshot m)));
+      print_newline ()
+    | None -> ());
+    r
+  in
+  match opts.trace with
+  | None -> go None
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> go (Some (Sim.Trace.jsonl oc)))
 
 let faulty_arg =
   let parse s =
@@ -192,16 +241,86 @@ let run_cmd =
         let mode =
           if full_trace then Sim.Engine.Full_horizon else Sim.Engine.Streaming
         in
+        let meta =
+          Sim.Trace.Meta
+            {
+              label = spec.Algo.Spec.name;
+              n = spec.Algo.Spec.n;
+              f = spec.Algo.Spec.f;
+              c = spec.Algo.Spec.c;
+              time_bound =
+                Some (Counting.Plan.top tower).Counting.Plan.time_bound;
+            }
+        in
+        with_telemetry ~meta opts @@ fun ~metrics ~trace ->
         (* One independent engine run per seed, spread over the pool;
-           output order follows the seed list regardless of --jobs. *)
-        let outcomes =
+           output order follows the seed list regardless of --jobs. Like
+           the harness sweeps, each seed records telemetry into private
+           sinks that are merged/replayed in seed order afterwards. *)
+        let trace_level =
+          match trace with
+          | None -> Sim.Trace.Off
+          | Some tr -> Sim.Trace.level tr
+        in
+        let want_metrics = metrics <> None in
+        let instrumented = want_metrics || trace_level <> Sim.Trace.Off in
+        let results =
           Stdx.Pool.map ~jobs:opts.jobs
             (fun seed ->
+              let cell_m =
+                if want_metrics then Some (Stdx.Metrics.create ()) else None
+              in
+              let cell_tr =
+                if trace_level = Sim.Trace.Off then Sim.Trace.null
+                else Sim.Trace.memory ~level:trace_level ()
+              in
+              let t0 =
+                if instrumented then Stdx.Metrics.wall_clock () else 0.0
+              in
+              let o =
+                Sim.Engine.run ?metrics:cell_m ~tracer:cell_tr ~mode
+                  ?min_suffix:opts.min_suffix ~spec ~adversary ~faulty
+                  ~rounds ~seed ()
+              in
+              let wall =
+                if instrumented then Stdx.Metrics.wall_clock () -. t0
+                else 0.0
+              in
               ( seed,
-                Sim.Engine.run ~mode ?min_suffix:opts.min_suffix ~spec
-                  ~adversary ~faulty ~rounds ~seed () ))
+                o,
+                Option.map Stdx.Metrics.snapshot cell_m,
+                Sim.Trace.events cell_tr,
+                wall ))
             seeds
         in
+        List.iteri
+          (fun i (seed, _, snap, events, wall) ->
+            (match (metrics, snap) with
+            | Some m, Some s ->
+              Stdx.Metrics.merge m s;
+              Stdx.Metrics.observe ~buckets:Stdx.Metrics.time_buckets m
+                "run.cell_wall_s" wall;
+              Stdx.Metrics.incr m "run.cells"
+            | _ -> ());
+            match trace with
+            | Some tr when Sim.Trace.seams_on tr ->
+              Sim.Trace.emit tr
+                (Sim.Trace.Cell_start
+                   {
+                     cell = i;
+                     label =
+                       Printf.sprintf "%s f=[%s] seed=%d"
+                         (Sim.Adversary.name adversary)
+                         (String.concat ";"
+                            (List.map string_of_int faulty))
+                         seed;
+                   });
+              List.iter (Sim.Trace.emit tr) events;
+              Sim.Trace.emit tr
+                (Sim.Trace.Cell_end { cell = i; wall_s = wall })
+            | _ -> ())
+          results;
+        let outcomes = List.map (fun (s, o, _, _, _) -> (s, o)) results in
         Printf.printf "%s\n" spec.Algo.Spec.name;
         List.iter
           (fun (seed, outcome) ->
@@ -276,10 +395,21 @@ let verify_cmd =
           | Some m -> with_min_suffix m c
           | None -> c
         in
+        let meta =
+          Sim.Trace.Meta
+            {
+              label = spec.Algo.Spec.name;
+              n = spec.Algo.Spec.n;
+              f = spec.Algo.Spec.f;
+              c = spec.Algo.Spec.c;
+              time_bound = Some report.Mc.Checker.worst_stabilisation;
+            }
+        in
         let agg =
-          Sim.Harness.run ~config ~spec
-            ~adversaries:(Sim.Adversary.hostile_suite ())
-            ()
+          with_telemetry ~meta opts (fun ~metrics ~trace ->
+              Sim.Harness.run ?metrics ?trace ~config ~spec
+                ~adversaries:(Sim.Adversary.hostile_suite ())
+                ())
         in
         (match agg.Sim.Harness.worst with
         | Some w when w <= report.Mc.Checker.worst_stabilisation ->
@@ -369,9 +499,23 @@ let chaos_cmd =
           Sim.Adversary.standard_suite ()
           @ [ Sim.Adversary.greedy_confusion ~pool:2 () ]
         in
-        match Sim.Harness.Chaos.run ~config ~spec ~adversaries () with
-        | exception Invalid_argument m -> `Error (false, m)
-        | agg ->
+        let meta =
+          Sim.Trace.Meta
+            {
+              label = spec.Algo.Spec.name;
+              n = spec.Algo.Spec.n;
+              f = spec.Algo.Spec.f;
+              c = spec.Algo.Spec.c;
+              time_bound =
+                Some (Counting.Plan.top tower).Counting.Plan.time_bound;
+            }
+        in
+        let analyse () =
+          with_telemetry ~meta opts @@ fun ~metrics ~trace ->
+          let agg =
+            Sim.Harness.Chaos.run ?metrics ?trace ~config ~spec ~adversaries
+              ()
+          in
         Printf.printf "%s\n" spec.Algo.Spec.name;
         let last_schedule = ref (-1) in
         List.iter
@@ -392,12 +536,16 @@ let chaos_cmd =
               o.Sim.Harness.Chaos.rounds_simulated o.Sim.Harness.Chaos.horizon)
           agg.Sim.Harness.Chaos.outcomes;
         Format.printf "%a@." Sim.Harness.Chaos.pp_aggregate agg;
-        if agg.Sim.Harness.Chaos.all_recovered then `Ok ()
-        else
-          `Error
-            ( false,
-              Printf.sprintf "%d phase verdict(s) failed to re-stabilise"
-                agg.Sim.Harness.Chaos.phase_failures )
+          if agg.Sim.Harness.Chaos.all_recovered then `Ok ()
+          else
+            `Error
+              ( false,
+                Printf.sprintf "%d phase verdict(s) failed to re-stabilise"
+                  agg.Sim.Harness.Chaos.phase_failures )
+        in
+        match analyse () with
+        | exception Invalid_argument m -> `Error (false, m)
+        | r -> r
       end
   in
   Cmd.v (Cmd.info "chaos" ~doc)
@@ -405,6 +553,207 @@ let chaos_cmd =
       ret
         (const run $ levels_arg $ corollary_f_arg $ modulus_arg $ campaigns_arg
        $ phases_arg $ events_arg $ max_victims_arg $ sweep_flags))
+
+(* ------------------------------------------------------------------ *)
+(* report: offline analysis of a --trace JSONL file.                   *)
+
+type report_row = {
+  rr_cell : int;
+  rr_phase : int;
+  rr_adversary : string;
+  rr_faulty : int list;
+  rr_start : int;
+  rr_end : int;
+  rr_corruptions : int;
+  rr_recovery : int option;
+}
+
+let report_cmd =
+  let doc =
+    "Analyse a JSONL trace written by --trace: per-phase recovery times \
+     vs the planner's Theorem 1 bound, the corruption timeline, and the \
+     slowest cells."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (JSONL, from --trace).")
+  in
+  let ids l = String.concat ";" (List.map string_of_int l) in
+  let run path =
+    let ic = open_in path in
+    let parsed =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Sim.Trace.read_jsonl ic)
+    in
+    match parsed with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+    | Ok events ->
+      let bound = ref None in
+      (* Events between Cell_start/Cell_end markers belong to that cell;
+         a single-run trace without markers is implicitly cell 0. *)
+      let cur_cell = ref 0 in
+      let labels = Hashtbl.create 8 in
+      let pending = ref None in
+      let rows = ref [] in
+      let timeline = ref [] in
+      let walls = ref [] in
+      let rounds_seen = ref 0 in
+      let flush_pending ~end_round ~recovery =
+        match !pending with
+        | None -> ()
+        | Some (phase, adversary, faulty, start, corr) ->
+          pending := None;
+          rows :=
+            {
+              rr_cell = !cur_cell;
+              rr_phase = phase;
+              rr_adversary = adversary;
+              rr_faulty = faulty;
+              rr_start = start;
+              rr_end = end_round;
+              rr_corruptions = corr;
+              rr_recovery = recovery;
+            }
+            :: !rows
+      in
+      List.iter
+        (fun (ev : Sim.Trace.event) ->
+          match ev with
+          | Sim.Trace.Meta { label; n; f; c; time_bound } ->
+            Printf.printf "%s  (n=%d f=%d c=%d" label n f c;
+            (match time_bound with
+            | Some t ->
+              bound := Some t;
+              Printf.printf ", Theorem 1 bound T <= %d" t
+            | None -> ());
+            Printf.printf ")\n"
+          | Sim.Trace.Cell_start { cell; label } ->
+            flush_pending ~end_round:(-1) ~recovery:None;
+            cur_cell := cell;
+            Hashtbl.replace labels cell label
+          | Sim.Trace.Phase_start { round; phase; adversary; faulty } ->
+            flush_pending ~end_round:round ~recovery:None;
+            pending := Some (phase, adversary, faulty, round, 0)
+          | Sim.Trace.Corruption { round; phase; victims } ->
+            (match !pending with
+            | Some (p, a, f, s, corr) when p = phase ->
+              pending := Some (p, a, f, s, corr + 1)
+            | _ -> ());
+            timeline := (!cur_cell, round, phase, victims) :: !timeline
+          | Sim.Trace.Detector_reset _ -> ()
+          | Sim.Trace.Round _ -> incr rounds_seen
+          | Sim.Trace.Verdict { round; phase = _; stabilized = _; recovery }
+            -> flush_pending ~end_round:round ~recovery
+          | Sim.Trace.Cell_end { cell; wall_s } ->
+            flush_pending ~end_round:(-1) ~recovery:None;
+            walls := (cell, wall_s) :: !walls)
+        events;
+      flush_pending ~end_round:(-1) ~recovery:None;
+      let rows = List.rev !rows in
+      if rows = [] then
+        `Error
+          (false, Printf.sprintf "%s: no phase reports in trace" path)
+      else begin
+        let table =
+          Stdx.Table.create
+            [
+              "cell"; "phase"; "adversary"; "faulty"; "start"; "end";
+              "corr"; "recovery"; "vs bound";
+            ]
+        in
+        List.iter
+          (fun r ->
+            let recovery, vs_bound =
+              match (r.rr_recovery, !bound) with
+              | Some rec_, Some b ->
+                ( string_of_int rec_,
+                  if rec_ <= b then "<= T" else "EXCEEDS T" )
+              | Some rec_, None -> (string_of_int rec_, "-")
+              | None, _ -> ("-", "FAILED")
+            in
+            Stdx.Table.add_row table
+              [
+                string_of_int r.rr_cell;
+                string_of_int r.rr_phase;
+                r.rr_adversary;
+                "[" ^ ids r.rr_faulty ^ "]";
+                string_of_int r.rr_start;
+                (if r.rr_end < 0 then "?" else string_of_int r.rr_end);
+                string_of_int r.rr_corruptions;
+                recovery;
+                vs_bound;
+              ])
+          rows;
+        Stdx.Table.print table;
+        (match List.rev !timeline with
+        | [] -> ()
+        | tl ->
+          Printf.printf "\ncorruption timeline:\n";
+          List.iter
+            (fun (cell, round, phase, victims) ->
+              Printf.printf "  round %d (phase %d, cell %d): %d victim(s) [%s]\n"
+                round phase cell (List.length victims) (ids victims))
+            tl);
+        (match
+           List.sort (fun (_, a) (_, b) -> compare (b : float) a) !walls
+         with
+        | [] -> ()
+        | walls ->
+          Printf.printf "\nslowest cells:\n";
+          List.iteri
+            (fun i (cell, wall_s) ->
+              if i < 5 then
+                Printf.printf "  cell %d: %.3fs  %s\n" cell wall_s
+                  (Option.value
+                     (Hashtbl.find_opt labels cell)
+                     ~default:""))
+            walls);
+        let recovered =
+          List.filter (fun r -> r.rr_recovery <> None) rows
+        in
+        let exceeded =
+          match !bound with
+          | None -> 0
+          | Some b ->
+            List.length
+              (List.filter
+                 (fun r ->
+                   match r.rr_recovery with
+                   | Some rec_ -> rec_ > b
+                   | None -> false)
+                 rows)
+        in
+        let worst =
+          List.fold_left
+            (fun acc r ->
+              match r.rr_recovery with Some v -> max acc v | None -> acc)
+            0 recovered
+        in
+        Printf.printf
+          "\n%d/%d phase(s) re-stabilised, worst recovery %d round(s)"
+          (List.length recovered) (List.length rows) worst;
+        (match !bound with
+        | Some b when exceeded = 0 ->
+          Printf.printf "; all within the Theorem 1 bound T <= %d" b
+        | Some b ->
+          Printf.printf "; %d phase(s) EXCEED the Theorem 1 bound T <= %d"
+            exceeded b
+        | None -> ());
+        if !rounds_seen > 0 then
+          Printf.printf " (%d round events)" !rounds_seen;
+        Printf.printf "\n";
+        if List.length recovered = List.length rows then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d phase(s) did not re-stabilise"
+                (List.length rows - List.length recovered) )
+      end
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ file_arg))
 
 let adversaries_cmd =
   let doc = "List the available adversary strategies." in
@@ -423,4 +772,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ plan_cmd; run_cmd; chaos_cmd; verify_cmd; adversaries_cmd ]))
+          [
+            plan_cmd; run_cmd; chaos_cmd; verify_cmd; report_cmd;
+            adversaries_cmd;
+          ]))

@@ -1,11 +1,16 @@
 (* jsonlint: strict syntax check for the machine-readable bench logs.
 
      dune exec bin/jsonlint.exe -- BENCH_sweep.json BENCH_parallel.json
+     dune exec bin/jsonlint.exe -- --jsonl trace.jsonl
 
    Exits non-zero (with a position) on the first malformed file. A
    minimal recursive-descent parser over the JSON grammar — no
    dependencies, no value construction, syntax only. Used by ci.sh to
-   guard against a half-written or corrupted at_exit flush. *)
+   guard against a half-written or corrupted at_exit flush.
+
+   With --jsonl every non-empty line must be one complete JSON value
+   (the trace format of `countctl --trace`); errors then carry the
+   line number instead of a byte offset. *)
 
 exception Bad of int * string
 
@@ -132,22 +137,39 @@ let read_file path =
   close_in ic;
   s
 
+(* One JSON value per non-empty line; raises [Bad (lineno, msg)] with a
+   1-based line number rather than a byte offset. *)
+let lint_jsonl (s : string) =
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        try lint line
+        with Bad (pos, msg) ->
+          raise (Bad (i + 1, Printf.sprintf "byte %d: %s" pos msg)))
+    (String.split_on_char '\n' s)
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as paths) ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let jsonl, paths = List.partition (fun a -> a = "--jsonl") args in
+  let jsonl = jsonl <> [] in
+  match paths with
+  | _ :: _ ->
     let bad = ref false in
     List.iter
       (fun path ->
-        match lint (read_file path) with
+        let check s = if jsonl then lint_jsonl s else lint s in
+        match check (read_file path) with
         | () -> Printf.printf "%s: ok\n" path
         | exception Bad (pos, msg) ->
-          Printf.printf "%s: MALFORMED at byte %d: %s\n" path pos msg;
+          Printf.printf "%s: MALFORMED at %s %d: %s\n" path
+            (if jsonl then "line" else "byte")
+            pos msg;
           bad := true
         | exception Sys_error e ->
           Printf.printf "%s: unreadable: %s\n" path e;
           bad := true)
       paths;
     if !bad then exit 1
-  | _ ->
-    prerr_endline "usage: jsonlint FILE...";
+  | [] ->
+    prerr_endline "usage: jsonlint [--jsonl] FILE...";
     exit 2

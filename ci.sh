@@ -5,18 +5,26 @@ cd "$(dirname "$0")"
 dune build
 dune runtest
 
-# Re-run the pool and sweep suites with real concurrency forced: the
-# jobs-determinism tests read REPRO_JOBS, so this exercises the
-# multi-domain path even when the default jobs count is 1.
+# Re-run the pool, sweep, and telemetry suites with real concurrency
+# forced: the jobs-determinism tests read REPRO_JOBS, so this exercises
+# the multi-domain path even when the default jobs count is 1.
 REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.pool' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness.chaos' -q
+REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.metrics' -q
+REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.telemetry' -q
 
 # Chaos smoke: a fixed-seed campaign on A(4,1) must re-stabilise after
 # every scheduled perturbation (countctl exits non-zero otherwise), and
-# must do so identically across worker domains.
+# must do so identically across worker domains. The emitted trace must
+# be analysable by `countctl report` and lint clean as JSONL.
+trace_file="$(mktemp)"
 dune exec bin/countctl.exe -- chaos --corollary1 1 --campaigns 2 \
-  --phases 2 --events 1 --rounds 400 --seeds 1 --jobs 2 > /dev/null
+  --phases 2 --events 1 --rounds 400 --seeds 1 --jobs 2 \
+  --trace "$trace_file" --metrics > /dev/null
+dune exec bin/countctl.exe -- report "$trace_file" > /dev/null
+dune exec bin/jsonlint.exe -- --jsonl "$trace_file"
+rm -f "$trace_file"
 
 # Regenerate the chaos recovery distributions so the JSON lint below
 # covers a fresh BENCH_chaos.json.

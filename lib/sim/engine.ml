@@ -39,9 +39,12 @@ type 's outcome = {
 let validate_faulty ~n ~f faulty =
   Schedule.validate_faulty ~who:"Engine.run" ~n ~f faulty
 
-let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
-    ~(spec : 's Algo.Spec.t) ~(schedule : 's Schedule.t) ~seed () =
+let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
+    ?(mode = Streaming) ?min_suffix ?window ~(spec : 's Algo.Spec.t)
+    ~(schedule : 's Schedule.t) ~seed () =
   let n = spec.Algo.Spec.n in
+  let tr_seams = Trace.seams_on tracer in
+  let tr_rounds = Trace.rounds_on tracer in
   let schedule = Schedule.validate ~spec schedule in
   let phases = Array.of_list schedule.Schedule.phases in
   let num_phases = Array.length phases in
@@ -84,7 +87,16 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
     Array.iter (fun v -> is_faulty.(v) <- true) fa;
     faulty := fa;
     correct := List.filter (fun v -> not is_faulty.(v)) (List.init n Fun.id);
-    crafter := p.Schedule.adversary.Adversary.fresh ()
+    crafter := p.Schedule.adversary.Adversary.fresh ();
+    if tr_seams then
+      Trace.emit tracer
+        (Trace.Phase_start
+           {
+             round = starts.(i);
+             phase = i;
+             adversary = Adversary.name p.Schedule.adversary;
+             faulty = Array.to_list fa;
+           })
   in
   enter_phase 0;
   let detector =
@@ -97,6 +109,8 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
      phase 0) left behind. *)
   let last_pert = ref 0 in
   let pert_count = ref 1 in
+  let corruption_events = ref 0 in
+  let corrupted_nodes = ref 0 in
   let current = ref initial in
   let t = ref 0 in
   let stop = ref false in
@@ -121,7 +135,19 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
         verdict;
         recovery;
       }
-      :: !reports
+      :: !reports;
+    if tr_seams then
+      Trace.emit tracer
+        (Trace.Verdict
+           {
+             round = end_round;
+             phase = !phase_idx;
+             stabilized =
+               (match verdict with
+               | Online.Stabilized s -> Some s
+               | Online.Not_stabilized -> None);
+             recovery;
+           })
   in
   while not !stop do
     (* Phase boundary: the outgoing phase's verdict is frozen before the
@@ -132,6 +158,9 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
       incr phase_idx;
       enter_phase !phase_idx;
       Online.reset ~correct:!correct detector;
+      if tr_seams then
+        Trace.emit tracer
+          (Trace.Detector_reset { round = !t; phase = !phase_idx });
       last_pert := !t;
       pert_count := 1
     done;
@@ -144,16 +173,31 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
         pending := rest;
         let correct_arr = Array.of_list !correct in
         let k = min victims (Array.length correct_arr) in
+        let hit = ref [] in
         if k > 0 then begin
           let cur = Array.copy !current in
           List.iter
             (fun i ->
+              hit := correct_arr.(i) :: !hit;
               cur.(correct_arr.(i)) <- spec.Algo.Spec.random_state corrupt_rng)
             (Stdx.Rng.sample_without_replacement corrupt_rng k
                (Array.length correct_arr));
           current := cur
         end;
+        incr corruption_events;
+        corrupted_nodes := !corrupted_nodes + k;
+        if tr_seams then
+          Trace.emit tracer
+            (Trace.Corruption
+               {
+                 round = !t;
+                 phase = !phase_idx;
+                 victims = List.sort Int.compare !hit;
+               });
         Online.reset detector;
+        if tr_seams then
+          Trace.emit tracer
+            (Trace.Detector_reset { round = !t; phase = !phase_idx });
         last_pert := !t;
         incr pert_count;
         apply_events ()
@@ -166,6 +210,8 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
     (match trace with
     | Some tr -> tr ~round:!t ~states:cur ~outputs:outs
     | None -> ());
+    if tr_rounds then
+      Trace.emit tracer (Trace.Round { round = !t; phase = !phase_idx });
     Online.observe detector ~round:!t outs;
     if
       mode = Streaming
@@ -199,8 +245,26 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
   done;
   finish_phase ~end_round:(!t + 1);
   let messages_per_round = n * (n - 1) in
+  let reports = List.rev !reports in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Stdx.Metrics.incr m "engine.runs";
+    Stdx.Metrics.incr ~by:!t m "engine.rounds";
+    Stdx.Metrics.incr ~by:(!t * messages_per_round) m "engine.messages";
+    if !early then Stdx.Metrics.incr m "engine.early_exits";
+    Stdx.Metrics.incr ~by:!corruption_events m "engine.corruption_events";
+    Stdx.Metrics.incr ~by:!corrupted_nodes m "engine.corrupted_nodes";
+    List.iter
+      (fun r ->
+        match r.recovery with
+        | Some rec_rounds ->
+          Stdx.Metrics.observe m "engine.recovery_rounds"
+            (float_of_int rec_rounds)
+        | None -> Stdx.Metrics.incr m "engine.phase_failures")
+      reports);
   {
-    phases = List.rev !reports;
+    phases = reports;
     verdict = Online.verdict detector;
     rounds_simulated = !t;
     early_exit = !early;
@@ -211,7 +275,7 @@ let run_schedule ?probe ?trace ?init ?(mode = Streaming) ?min_suffix ?window
     bits_per_round = messages_per_round * spec.Algo.Spec.state_bits;
   }
 
-let run ?probe ?trace ?init ?mode ?min_suffix ?window
+let run ?probe ?trace ?tracer ?metrics ?init ?mode ?min_suffix ?window
     ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t) ~faulty ~rounds
     ~seed () =
   let n = spec.Algo.Spec.n in
@@ -225,8 +289,8 @@ let run ?probe ?trace ?init ?mode ?min_suffix ?window
   | _ -> ());
   let schedule = Schedule.static ~adversary ~faulty ~rounds in
   let o =
-    run_schedule ?probe ?trace ?init ?mode ?min_suffix ?window ~spec ~schedule
-      ~seed ()
+    run_schedule ?probe ?trace ?tracer ?metrics ?init ?mode ?min_suffix
+      ?window ~spec ~schedule ~seed ()
   in
   {
     verdict = o.verdict;

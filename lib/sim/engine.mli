@@ -95,6 +95,8 @@ type 's outcome = {
 val run :
   ?probe:(round:int -> states:'s array -> unit) ->
   ?trace:(round:int -> states:'s array -> outputs:int array -> unit) ->
+  ?tracer:Trace.t ->
+  ?metrics:Stdx.Metrics.t ->
   ?init:'s array ->
   ?mode:mode ->
   ?min_suffix:int ->
@@ -115,12 +117,25 @@ val run :
     [probe] sees the start-of-round states of every simulated round
     (including round 0); [trace] additionally receives the output row and
     is how {!Network.run} materialises full traces. [window] bounds
-    [recent_outputs] (default 8). Raises [Invalid_argument] on invalid
-    faulty sets or [init] length, like {!Network.run}. *)
+    [recent_outputs] (default 8).
+
+    [tracer] (default {!Trace.null}) receives structured {!Trace.event}s
+    at the chaos seams — plus one [Round] event per simulated round when
+    its level is [Rounds]; [metrics] receives the engine counters
+    ([engine.runs]/[engine.rounds]/[engine.messages]/…) and the
+    [engine.recovery_rounds] histogram, flushed once when the run ends.
+    Neither consumes randomness or changes the execution: the run is
+    bit-identical with them on or off (differential test in
+    [test_telemetry.ml]).
+
+    Raises [Invalid_argument] on invalid faulty sets or [init] length,
+    like {!Network.run}. *)
 
 val run_schedule :
   ?probe:(round:int -> states:'s array -> unit) ->
   ?trace:(round:int -> states:'s array -> outputs:int array -> unit) ->
+  ?tracer:Trace.t ->
+  ?metrics:Stdx.Metrics.t ->
   ?init:'s array ->
   ?mode:mode ->
   ?min_suffix:int ->

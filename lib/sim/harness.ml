@@ -82,7 +82,35 @@ let aggregate_of ~horizon outcomes =
   in
   { outcomes; all_stabilized; worst; times; horizon; total_rounds_simulated }
 
-let run ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries () =
+(* Per-cell telemetry. Pool workers never share a sink: each grid cell
+   gets a private registry and memory buffer (created only when the
+   caller asked for telemetry), and [merge_cells] folds them into the
+   caller's sinks in cell-index order after the pool finishes — so the
+   merged metrics and the replayed trace are identical at any [jobs]
+   count. Each cell's stream is bracketed by [Cell_start]/[Cell_end]. *)
+let cell_trace_level trace =
+  match trace with None -> Trace.Off | Some tr -> Trace.level tr
+
+let merge_cells ?metrics ?trace ~wall_metric ~cells_metric ~label results =
+  Array.iteri
+    (fun i (_, snap, events, wall) ->
+      (match metrics with
+      | Some m ->
+        (match snap with Some s -> Stdx.Metrics.merge m s | None -> ());
+        Stdx.Metrics.observe ~buckets:Stdx.Metrics.time_buckets m wall_metric
+          wall;
+        Stdx.Metrics.incr m cells_metric
+      | None -> ());
+      match trace with
+      | Some tr when Trace.seams_on tr ->
+        Trace.emit tr (Trace.Cell_start { cell = i; label = label i });
+        List.iter (Trace.emit tr) events;
+        Trace.emit tr (Trace.Cell_end { cell = i; wall_s = wall })
+      | _ -> ())
+    results
+
+let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
+    ~adversaries () =
   let { Config.fault_sets; seeds; min_suffix; mode; rounds; jobs } = config in
   let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
   let fault_sets =
@@ -103,23 +131,51 @@ let run ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries () =
              fault_sets)
          adversaries)
   in
-  let outcomes =
+  let trace_level = cell_trace_level trace in
+  let want_metrics = metrics <> None in
+  let instrumented = want_metrics || trace_level <> Trace.Off in
+  let results =
     Stdx.Pool.run ~jobs (Array.length grid) (fun i ->
         let adversary, faulty, seed = grid.(i) in
-        let o =
-          Engine.run ~mode ~min_suffix ~spec ~adversary ~faulty ~rounds ~seed
-            ()
+        let cell_m =
+          if want_metrics then Some (Stdx.Metrics.create ()) else None
         in
-        {
-          adversary = Adversary.name adversary;
-          faulty;
-          seed;
-          verdict = o.Engine.verdict;
-          rounds_simulated = o.Engine.rounds_simulated;
-          early_exit = o.Engine.early_exit;
-        })
+        let cell_tr =
+          if trace_level = Trace.Off then Trace.null
+          else Trace.memory ~level:trace_level ()
+        in
+        let t0 = if instrumented then Stdx.Metrics.wall_clock () else 0.0 in
+        let o =
+          Engine.run ?metrics:cell_m ~tracer:cell_tr ~mode ~min_suffix ~spec
+            ~adversary ~faulty ~rounds ~seed ()
+        in
+        let wall =
+          if instrumented then Stdx.Metrics.wall_clock () -. t0 else 0.0
+        in
+        let outcome =
+          {
+            adversary = Adversary.name adversary;
+            faulty;
+            seed;
+            verdict = o.Engine.verdict;
+            rounds_simulated = o.Engine.rounds_simulated;
+            early_exit = o.Engine.early_exit;
+          }
+        in
+        (outcome, Option.map Stdx.Metrics.snapshot cell_m,
+         Trace.events cell_tr, wall))
   in
-  aggregate_of ~horizon:rounds (Array.to_list outcomes)
+  merge_cells ?metrics ?trace ~wall_metric:"harness.cell_wall_s"
+    ~cells_metric:"harness.cells"
+    ~label:(fun i ->
+      let adversary, faulty, seed = grid.(i) in
+      Printf.sprintf "%s f=[%s] seed=%d"
+        (Adversary.name adversary)
+        (String.concat ";" (List.map string_of_int faulty))
+        seed)
+    results;
+  aggregate_of ~horizon:rounds
+    (Array.to_list (Array.map (fun (o, _, _, _) -> o) results))
 
 let sweep ?fault_sets ?seeds ?min_suffix ?mode ?jobs ~spec ~adversaries
     ~rounds () =
@@ -196,8 +252,8 @@ module Chaos = struct
     total_rounds_simulated : int;
   }
 
-  let run ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries ()
-      =
+  let run ?metrics ?trace ?(config = Config.default)
+      ~(spec : 's Algo.Spec.t) ~adversaries () =
     let {
       Config.campaigns;
       phases;
@@ -243,15 +299,29 @@ module Chaos = struct
     in
     let seeds = Array.of_list seeds in
     let num_seeds = Array.length seeds in
-    let outcomes =
+    let trace_level = cell_trace_level trace in
+    let want_metrics = metrics <> None in
+    let instrumented = want_metrics || trace_level <> Trace.Off in
+    let results =
       Stdx.Pool.run ~jobs (campaigns * num_seeds) (fun i ->
           let schedule_seed, schedule, min_suffix =
             schedules.(i / num_seeds)
           in
           let run_seed = seeds.(i mod num_seeds) in
+          let cell_m =
+            if want_metrics then Some (Stdx.Metrics.create ()) else None
+          in
+          let cell_tr =
+            if trace_level = Trace.Off then Trace.null
+            else Trace.memory ~level:trace_level ()
+          in
+          let t0 = if instrumented then Stdx.Metrics.wall_clock () else 0.0 in
           let o =
-            Engine.run_schedule ~mode ~min_suffix ~spec ~schedule
-              ~seed:run_seed ()
+            Engine.run_schedule ?metrics:cell_m ~tracer:cell_tr ~mode
+              ~min_suffix ~spec ~schedule ~seed:run_seed ()
+          in
+          let wall =
+            if instrumented then Stdx.Metrics.wall_clock () -. t0 else 0.0
           in
           let phases = o.Engine.phases in
           let recovered =
@@ -270,18 +340,31 @@ module Chaos = struct
                    0 phases)
             else None
           in
-          {
-            schedule_seed;
-            schedule = Schedule.describe schedule;
-            run_seed;
-            phases;
-            recovered;
-            worst_recovery;
-            rounds_simulated = o.Engine.rounds_simulated;
-            horizon = o.Engine.horizon;
-          })
+          let outcome =
+            {
+              schedule_seed;
+              schedule = Schedule.describe schedule;
+              run_seed;
+              phases;
+              recovered;
+              worst_recovery;
+              rounds_simulated = o.Engine.rounds_simulated;
+              horizon = o.Engine.horizon;
+            }
+          in
+          (outcome, Option.map Stdx.Metrics.snapshot cell_m,
+           Trace.events cell_tr, wall))
     in
-    let outcomes = Array.to_list outcomes in
+    merge_cells ?metrics ?trace ~wall_metric:"chaos.cell_wall_s"
+      ~cells_metric:"chaos.cells"
+      ~label:(fun i ->
+        let schedule_seed, _, _ = schedules.(i / num_seeds) in
+        Printf.sprintf "campaign %d seed %d" schedule_seed
+          seeds.(i mod num_seeds))
+      results;
+    let outcomes =
+      Array.to_list (Array.map (fun (o, _, _, _) -> o) results)
+    in
     let recoveries =
       List.concat_map
         (fun o ->

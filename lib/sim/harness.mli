@@ -86,6 +86,8 @@ val resolve_min_suffix : c:int -> rounds:int -> int option -> int
     name). Raises [Invalid_argument] if [rounds < c]. *)
 
 val run :
+  ?metrics:Stdx.Metrics.t ->
+  ?trace:Trace.t ->
   ?config:Config.t ->
   spec:'s Algo.Spec.t ->
   adversaries:'s Adversary.t list ->
@@ -95,7 +97,16 @@ val run :
     (default {!Config.default}) on the streaming engine, on
     [config.jobs] domains. Outcomes are listed in grid order —
     adversaries outermost, then fault sets, then seeds — regardless of
-    [jobs]. *)
+    [jobs].
+
+    [metrics]/[trace] turn on telemetry: every grid cell runs with a
+    private registry and buffer (at [trace]'s level), and after the pool
+    finishes the cells are merged into [metrics] and replayed into
+    [trace] in cell-index order, each stream bracketed by
+    [Cell_start]/[Cell_end] — so apart from wall-clock samples
+    ([harness.cell_wall_s]) the telemetry is identical at any [jobs]
+    count, and the sweep outcomes are bit-identical with telemetry on or
+    off. *)
 
 val sweep :
   ?fault_sets:int list list ->
@@ -181,6 +192,8 @@ module Chaos : sig
   }
 
   val run :
+    ?metrics:Stdx.Metrics.t ->
+    ?trace:Trace.t ->
     ?config:Config.t ->
     spec:'s Algo.Spec.t ->
     adversaries:'s Adversary.t list ->
@@ -190,7 +203,12 @@ module Chaos : sig
       {!Schedule.random} draws each phase's strategy from (e.g.
       [Adversary.standard_suite ()]). Raises [Invalid_argument] on an
       empty adversary pool, [campaigns < 1], empty [seeds], or a schedule
-      horizon shorter than the spec's modulus ({!Min_suffix.resolve}). *)
+      horizon shorter than the spec's modulus ({!Min_suffix.resolve}).
+
+      [metrics]/[trace] behave exactly as in {!Harness.run}: per-cell
+      sinks merged/replayed in cell-index order ([chaos.cell_wall_s],
+      [chaos.cells]), deterministic at any [jobs] count, inert for the
+      outcomes themselves. *)
 
   val pp_aggregate : Format.formatter -> aggregate -> unit
 end

@@ -1,0 +1,409 @@
+type level = Off | Seams | Rounds
+
+type event =
+  | Meta of {
+      label : string;
+      n : int;
+      f : int;
+      c : int;
+      time_bound : int option;
+    }
+  | Cell_start of { cell : int; label : string }
+  | Phase_start of {
+      round : int;
+      phase : int;
+      adversary : string;
+      faulty : int list;
+    }
+  | Round of { round : int; phase : int }
+  | Corruption of { round : int; phase : int; victims : int list }
+  | Detector_reset of { round : int; phase : int }
+  | Verdict of {
+      round : int;
+      phase : int;
+      stabilized : int option;
+      recovery : int option;
+    }
+  | Cell_end of { cell : int; wall_s : float }
+
+(* Events hold ints, int lists, strings and one finite float, so
+   structural equality is exact. *)
+let equal_event (a : event) (b : event) = a = b
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let opt_int = function Some v -> string_of_int v | None -> "null"
+let ints l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let to_json = function
+  | Meta { label; n; f; c; time_bound } ->
+    Printf.sprintf
+      "{\"ev\":\"meta\",\"label\":\"%s\",\"n\":%d,\"f\":%d,\"c\":%d,\
+       \"time_bound\":%s}"
+      (json_escape label) n f c (opt_int time_bound)
+  | Cell_start { cell; label } ->
+    Printf.sprintf "{\"ev\":\"cell-start\",\"cell\":%d,\"label\":\"%s\"}" cell
+      (json_escape label)
+  | Phase_start { round; phase; adversary; faulty } ->
+    Printf.sprintf
+      "{\"ev\":\"phase-start\",\"round\":%d,\"phase\":%d,\"adversary\":\"%s\",\
+       \"faulty\":%s}"
+      round phase (json_escape adversary) (ints faulty)
+  | Round { round; phase } ->
+    Printf.sprintf "{\"ev\":\"round\",\"round\":%d,\"phase\":%d}" round phase
+  | Corruption { round; phase; victims } ->
+    Printf.sprintf
+      "{\"ev\":\"corruption\",\"round\":%d,\"phase\":%d,\"victims\":%s}" round
+      phase (ints victims)
+  | Detector_reset { round; phase } ->
+    Printf.sprintf "{\"ev\":\"detector-reset\",\"round\":%d,\"phase\":%d}"
+      round phase
+  | Verdict { round; phase; stabilized; recovery } ->
+    Printf.sprintf
+      "{\"ev\":\"verdict\",\"round\":%d,\"phase\":%d,\"stabilized\":%s,\
+       \"recovery\":%s}"
+      round phase (opt_int stabilized) (opt_int recovery)
+  | Cell_end { cell; wall_s } ->
+    Printf.sprintf "{\"ev\":\"cell-end\",\"cell\":%d,\"wall_s\":%.17g}" cell
+      wall_s
+
+let pp_event ppf ev = Format.pp_print_string ppf (to_json ev)
+
+(* ------------------------------------------------------------------ *)
+(* Writers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sink =
+  | Null
+  | Memory of { capacity : int option; buf : event Queue.t }
+  | Jsonl of out_channel
+
+type t = { level : level; sink : sink }
+
+let null = { level = Off; sink = Null }
+
+let memory ?(level = Seams) ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Trace.memory: capacity must be >= 1"
+  | _ -> ());
+  { level; sink = Memory { capacity; buf = Queue.create () } }
+
+let jsonl ?(level = Seams) oc = { level; sink = Jsonl oc }
+
+let level t = t.level
+let seams_on t = t.level <> Off
+let rounds_on t = t.level = Rounds
+
+let emit t ev =
+  match t.sink with
+  | Null -> ()
+  | Memory m ->
+    Queue.push ev m.buf;
+    (match m.capacity with
+    | Some c ->
+      while Queue.length m.buf > c do
+        ignore (Queue.pop m.buf)
+      done
+    | None -> ())
+  | Jsonl oc ->
+    output_string oc (to_json ev);
+    output_char oc '\n'
+
+let events t =
+  match t.sink with
+  | Memory m -> List.of_seq (Queue.to_seq m.buf)
+  | Null | Jsonl _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a minimal JSON value parser (the dual of [to_json]; the
+   syntax-only checker lives in bin/jsonlint)                           *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jfloat of float
+  | Jstring of string
+  | Jarray of json list
+  | Jobject of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "byte %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_ () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> advance (); Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance (); Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance (); Buffer.add_char b '/'; go ()
+        | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+        | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+        | Some 'r' -> advance (); Buffer.add_char b '\r'; go ()
+        | Some 'b' -> advance (); Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance (); Buffer.add_char b '\012'; go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+          | Some _ -> Buffer.add_string b "?"
+          | None -> fail "bad \\u escape");
+          pos := !pos + 4;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let lit = String.sub s start (!pos - start) in
+    if !is_float then Jfloat (float_of_string lit)
+    else
+      match int_of_string_opt lit with
+      | Some v -> Jint v
+      | None -> Jfloat (float_of_string lit)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstring (string_ ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Jobject []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_ () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | _ ->
+            expect '}';
+            List.rev ((k, v) :: acc)
+        in
+        Jobject (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Jarray []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | _ ->
+            expect ']';
+            List.rev (v :: acc)
+        in
+        Jarray (elements [])
+      end
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let field obj name =
+  match obj with
+  | Jobject kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Parse_error "expected an object")
+
+let as_int name = function
+  | Jint v -> v
+  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected int" name))
+
+let as_string name = function
+  | Jstring v -> v
+  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected string" name))
+
+let as_float name = function
+  | Jfloat v -> v
+  | Jint v -> float_of_int v
+  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected number" name))
+
+let as_opt_int name = function
+  | Jnull -> None
+  | Jint v -> Some v
+  | _ ->
+    raise (Parse_error (Printf.sprintf "field %S: expected int or null" name))
+
+let as_ints name = function
+  | Jarray vs -> List.map (as_int name) vs
+  | _ ->
+    raise (Parse_error (Printf.sprintf "field %S: expected int array" name))
+
+let of_json line =
+  match parse_json line with
+  | exception Parse_error msg -> Error msg
+  | j -> (
+    try
+      let i name = as_int name (field j name) in
+      let str name = as_string name (field j name) in
+      match str "ev" with
+      | "meta" ->
+        Ok
+          (Meta
+             {
+               label = str "label";
+               n = i "n";
+               f = i "f";
+               c = i "c";
+               time_bound = as_opt_int "time_bound" (field j "time_bound");
+             })
+      | "cell-start" -> Ok (Cell_start { cell = i "cell"; label = str "label" })
+      | "phase-start" ->
+        Ok
+          (Phase_start
+             {
+               round = i "round";
+               phase = i "phase";
+               adversary = str "adversary";
+               faulty = as_ints "faulty" (field j "faulty");
+             })
+      | "round" -> Ok (Round { round = i "round"; phase = i "phase" })
+      | "corruption" ->
+        Ok
+          (Corruption
+             {
+               round = i "round";
+               phase = i "phase";
+               victims = as_ints "victims" (field j "victims");
+             })
+      | "detector-reset" ->
+        Ok (Detector_reset { round = i "round"; phase = i "phase" })
+      | "verdict" ->
+        Ok
+          (Verdict
+             {
+               round = i "round";
+               phase = i "phase";
+               stabilized = as_opt_int "stabilized" (field j "stabilized");
+               recovery = as_opt_int "recovery" (field j "recovery");
+             })
+      | "cell-end" ->
+        Ok
+          (Cell_end
+             { cell = i "cell"; wall_s = as_float "wall_s" (field j "wall_s") })
+      | ev -> Error (Printf.sprintf "unknown event kind %S" ev)
+    with Parse_error msg -> Error msg)
+
+let read_jsonl ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line ->
+      if String.trim line = "" then go (lineno + 1) acc
+      else (
+        match of_json line with
+        | Ok ev -> go (lineno + 1) (ev :: acc)
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 []

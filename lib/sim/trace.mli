@@ -1,0 +1,107 @@
+(** Structured round traces — the simulator's machine-readable event
+    side channel.
+
+    The engine emits a {!event} at every seam the chaos layer created
+    (phase boundaries, transient corruption, detector resets, per-phase
+    verdicts) plus, at the most verbose level, one event per simulated
+    round; the harnesses wrap each grid cell's stream in
+    [Cell_start]/[Cell_end] markers and the CLI prepends one [Meta]
+    event describing the algorithm under test. A trace is consumed by
+    [countctl report] (per-phase recovery summary vs the Theorem 1
+    bound) or by anything that can read JSONL.
+
+    {2 Writers}
+
+    A {!t} is a sink. {!null} (the default everywhere) is {e inert}: its
+    level is {!Off}, so instrumented code guards every emission with one
+    branch ({!seams_on} / {!rounds_on}) and the hot loop pays nothing
+    else — the differential test in [test_telemetry.ml] checks runs are
+    bit-identical with tracing on and off. {!memory} buffers events (a
+    bounded ring if [capacity] is given — oldest events drop first);
+    {!jsonl} encodes each event as one JSON object per line.
+
+    Writers are single-domain: parallel harnesses give each worker its
+    own {!memory} buffer and replay the buffers into the caller's sink
+    in cell-index order, so trace output is identical at any jobs
+    count. *)
+
+type level =
+  | Off  (** emit nothing (the {!null} writer) *)
+  | Seams  (** phase starts, corruption, resets, verdicts, cell marks *)
+  | Rounds  (** [Seams] plus one [Round] event per simulated round *)
+
+type event =
+  | Meta of {
+      label : string;
+      n : int;
+      f : int;
+      c : int;
+      time_bound : int option;
+          (** the planner's Theorem 1 stabilisation-time bound, when the
+              producer knows it *)
+    }
+  | Cell_start of { cell : int; label : string }
+      (** start of one harness grid cell's event stream *)
+  | Phase_start of {
+      round : int;
+      phase : int;
+      adversary : string;
+      faulty : int list;
+    }
+  | Round of { round : int; phase : int }
+  | Corruption of { round : int; phase : int; victims : int list }
+      (** transient event: [victims] are the corrupted node ids (may be
+          empty when the schedule asked for more victims than there are
+          correct nodes) *)
+  | Detector_reset of { round : int; phase : int }
+  | Verdict of {
+      round : int;  (** the phase's [end_round] *)
+      phase : int;
+      stabilized : int option;  (** [Stabilized s] as [Some s] *)
+      recovery : int option;
+    }
+  | Cell_end of { cell : int; wall_s : float }
+
+val equal_event : event -> event -> bool
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val null : t
+val memory : ?level:level -> ?capacity:int -> unit -> t
+(** Buffering sink (default level [Seams]). Without [capacity] the
+    buffer is unbounded; with it, a ring keeping the [capacity] most
+    recent events. *)
+
+val jsonl : ?level:level -> out_channel -> t
+(** One JSON object per line on [oc] (default level [Seams]). The caller
+    closes the channel. *)
+
+val level : t -> level
+
+val seams_on : t -> bool
+(** [level >= Seams] — the emission guard. *)
+
+val rounds_on : t -> bool
+(** [level = Rounds] — the hot-loop guard. *)
+
+val emit : t -> event -> unit
+(** Record one event; a no-op on {!null}. Emission is not level-filtered
+    here — producers are expected to guard with {!seams_on}/{!rounds_on}
+    (that is what makes the off path one branch). *)
+
+val events : t -> event list
+(** Contents of a {!memory} sink, oldest first; [[]] for other sinks. *)
+
+(** {2 JSONL codec} *)
+
+val to_json : event -> string
+(** Single-line JSON encoding (jsonlint-compatible, round-trips through
+    {!of_json} exactly). *)
+
+val of_json : string -> (event, string) result
+(** Parse one line as emitted by {!to_json} / the [jsonl] writer. *)
+
+val read_jsonl : in_channel -> (event list, string) result
+(** Parse a whole JSONL stream (blank lines skipped); the error carries
+    the offending line number. *)

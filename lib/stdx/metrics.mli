@@ -1,0 +1,86 @@
+(** Process-wide metrics registry: named counters, gauges and
+    fixed-bucket histograms.
+
+    A registry is a mutex-protected name → instrument table, so {!Pool}
+    workers may record into a shared registry concurrently without
+    losing increments. The sweep harnesses instead give every grid cell
+    its own registry and {!merge} the {!snapshot}s in cell-index order
+    after the pool finishes — the merged result is then identical at any
+    jobs count (see DESIGN.md, "Telemetry").
+
+    Instruments are created on first use; a name is permanently bound to
+    its first kind and (for histograms) its first bucket layout —
+    recording with a conflicting kind or layout raises
+    [Invalid_argument], as does any non-finite observation. *)
+
+type t
+(** A mutable registry. *)
+
+val create : unit -> t
+
+val default_buckets : float array
+(** Geometric round-count buckets [1; 2; 4; ...; 65536] — the default
+    for {!observe}. *)
+
+val time_buckets : float array
+(** Geometric wall-clock buckets in seconds, [1e-4 .. ~100] — the
+    default for {!timed}. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Add [by] (default 1) to counter [name], creating it at 0 first. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set gauge [name] to a finite value (last write wins). *)
+
+val observe : ?buckets:float array -> t -> string -> float -> unit
+(** Record a finite sample into histogram [name]. The first call fixes
+    the bucket layout ([buckets] must be strictly increasing upper
+    bounds; default {!default_buckets}); a sample lands in the first
+    bucket whose bound it does not exceed, or in the implicit overflow
+    bucket. *)
+
+val wall_clock : unit -> float
+(** [Unix.gettimeofday] — exposed so callers above [stdx] can time
+    without their own unix dependency. *)
+
+val timed : ?buckets:float array -> t -> string -> (unit -> 'a) -> 'a * float
+(** [timed t name f] runs [f ()], records its wall-clock seconds into
+    histogram [name] (bucket default {!time_buckets}), and returns the
+    result with the measured seconds. The duration is recorded even when
+    [f] raises. *)
+
+(** {2 Snapshots} *)
+
+type histogram = {
+  buckets : float array;  (** upper bounds, strictly increasing *)
+  counts : int array;
+      (** per-bucket sample counts; length [Array.length buckets + 1],
+          the last entry being the overflow bucket *)
+  count : int;  (** total samples *)
+  sum : float;  (** sum of samples *)
+}
+
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+type snapshot = (string * value) list
+(** Immutable registry contents, sorted by name. *)
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+(** Drop every instrument (names unbind too). *)
+
+val find : snapshot -> string -> value option
+
+val merge : t -> snapshot -> unit
+(** Fold a snapshot into [t]: counters and histogram buckets add
+    (layouts must match), gauges overwrite. Applying worker snapshots in
+    a fixed order yields a deterministic result regardless of how the
+    workers were scheduled. *)
+
+val to_table : snapshot -> Table.t
+(** Human-readable rendering: one row per instrument. *)
+
+val to_json : snapshot -> string
+(** JSON object
+    [{"counters":{..},"gauges":{..},"histograms":{..}}] in the repo's
+    jsonlint-compatible encoding (finite numbers only, sorted names). *)

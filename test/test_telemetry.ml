@@ -1,0 +1,545 @@
+(* Telemetry layer: Stdx.Metrics, Sim.Trace, and the differential
+   guarantee that turning telemetry on changes nothing about a run. *)
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let rejects name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let parallel_jobs =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ -> 8)
+  | None -> 8
+
+(* ------------------------------------------------------------------ *)
+(* Stdx.Metrics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_and_gauges () =
+  let m = Stdx.Metrics.create () in
+  Stdx.Metrics.incr m "b";
+  Stdx.Metrics.incr ~by:41 m "b";
+  Stdx.Metrics.incr m "a";
+  Stdx.Metrics.set_gauge m "g" 1.5;
+  Stdx.Metrics.set_gauge m "g" 2.5;
+  let snap = Stdx.Metrics.snapshot m in
+  check
+    Alcotest.(list string)
+    "snapshot sorted by name" [ "a"; "b"; "g" ] (List.map fst snap);
+  check Alcotest.bool "counter sums" true
+    (Stdx.Metrics.find snap "b" = Some (Stdx.Metrics.Counter 42));
+  check Alcotest.bool "gauge keeps last write" true
+    (Stdx.Metrics.find snap "g" = Some (Stdx.Metrics.Gauge 2.5));
+  check Alcotest.bool "missing name" true
+    (Stdx.Metrics.find snap "zzz" = None);
+  Stdx.Metrics.reset m;
+  check Alcotest.int "reset drops everything" 0
+    (List.length (Stdx.Metrics.snapshot m))
+
+let test_histogram_bucket_edges () =
+  let m = Stdx.Metrics.create () in
+  let buckets = [| 1.0; 2.0; 4.0 |] in
+  List.iter
+    (Stdx.Metrics.observe ~buckets m "h")
+    [ 0.5; 1.0; 1.5; 4.0; 5.0 ];
+  match Stdx.Metrics.find (Stdx.Metrics.snapshot m) "h" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    (* a sample lands in the first bucket whose upper bound it does not
+       exceed: 0.5 and 1.0 in <=1, 1.5 in <=2, 4.0 in <=4, 5.0 overflow *)
+    check (Alcotest.array Alcotest.int) "counts" [| 2; 1; 1; 1 |] h.counts;
+    check Alcotest.int "total count" 5 h.count;
+    check (Alcotest.float 1e-9) "sum" 12.0 h.sum;
+    check Alcotest.int "overflow bucket is implicit" 4
+      (Array.length h.counts)
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_metrics_rejects () =
+  let m = Stdx.Metrics.create () in
+  Stdx.Metrics.incr m "c";
+  Stdx.Metrics.observe m "h" 1.0;
+  rejects "counter used as gauge" (fun () -> Stdx.Metrics.set_gauge m "c" 1.0);
+  rejects "counter used as histogram" (fun () ->
+      Stdx.Metrics.observe m "c" 1.0);
+  rejects "histogram used as counter" (fun () -> Stdx.Metrics.incr m "h");
+  rejects "conflicting bucket layout" (fun () ->
+      Stdx.Metrics.observe ~buckets:[| 1.0; 2.0 |] m "h" 1.0);
+  rejects "empty bucket layout" (fun () ->
+      Stdx.Metrics.observe ~buckets:[||] m "h2" 1.0);
+  rejects "non-increasing buckets" (fun () ->
+      Stdx.Metrics.observe ~buckets:[| 2.0; 1.0 |] m "h3" 1.0);
+  rejects "non-finite observation" (fun () ->
+      Stdx.Metrics.observe m "h" Float.infinity);
+  rejects "non-finite gauge" (fun () ->
+      Stdx.Metrics.set_gauge m "g" Float.nan);
+  (* omitting ~buckets reuses the existing layout rather than clashing
+     with the default *)
+  Stdx.Metrics.observe ~buckets:[| 10.0 |] m "h4" 1.0;
+  Stdx.Metrics.observe m "h4" 2.0;
+  match Stdx.Metrics.find (Stdx.Metrics.snapshot m) "h4" with
+  | Some (Stdx.Metrics.Histogram h) -> check Alcotest.int "both landed" 2 h.count
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_concurrent_increments_sum_exactly () =
+  let m = Stdx.Metrics.create () in
+  let tasks = 400 in
+  ignore
+    (Stdx.Pool.run ~jobs:parallel_jobs tasks (fun i ->
+         Stdx.Metrics.incr m "hits";
+         Stdx.Metrics.incr ~by:2 m "double";
+         Stdx.Metrics.observe ~buckets:[| 100.0; 200.0; 400.0 |] m "obs"
+           (float_of_int i)));
+  let snap = Stdx.Metrics.snapshot m in
+  check Alcotest.bool "no lost increments" true
+    (Stdx.Metrics.find snap "hits" = Some (Stdx.Metrics.Counter tasks));
+  check Alcotest.bool "no lost ~by increments" true
+    (Stdx.Metrics.find snap "double" = Some (Stdx.Metrics.Counter (2 * tasks)));
+  match Stdx.Metrics.find snap "obs" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check Alcotest.int "no lost observations" tasks h.count;
+    check (Alcotest.array Alcotest.int) "bucket counts exact"
+      [| 101; 100; 199; 0 |] h.counts
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_merge_determinism () =
+  (* worker-local registries merged in a fixed order: same result however
+     the workers were scheduled, and the totals are the sums *)
+  let worker i =
+    let w = Stdx.Metrics.create () in
+    Stdx.Metrics.incr ~by:(i + 1) w "runs";
+    Stdx.Metrics.set_gauge w "last" (float_of_int i);
+    Stdx.Metrics.observe ~buckets:[| 2.0; 8.0 |] w "rec" (float_of_int i);
+    Stdx.Metrics.snapshot w
+  in
+  let snaps = List.init 10 worker in
+  let merged () =
+    let m = Stdx.Metrics.create () in
+    List.iter (Stdx.Metrics.merge m) snaps;
+    Stdx.Metrics.snapshot m
+  in
+  let a = merged () and b = merged () in
+  check Alcotest.bool "merge is deterministic" true (a = b);
+  check Alcotest.bool "counters add" true
+    (Stdx.Metrics.find a "runs" = Some (Stdx.Metrics.Counter 55));
+  check Alcotest.bool "gauges keep the last merge" true
+    (Stdx.Metrics.find a "last" = Some (Stdx.Metrics.Gauge 9.0));
+  (match Stdx.Metrics.find a "rec" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check Alcotest.int "histogram counts add" 10 h.count;
+    check (Alcotest.float 1e-9) "histogram sums add" 45.0 h.sum
+  | _ -> Alcotest.fail "histogram missing");
+  rejects "merge layout mismatch" (fun () ->
+      let m = Stdx.Metrics.create () in
+      Stdx.Metrics.observe ~buckets:[| 1.0 |] m "rec" 0.5;
+      Stdx.Metrics.merge m (List.hd snaps))
+
+let test_timed () =
+  let m = Stdx.Metrics.create () in
+  let v, wall = Stdx.Metrics.timed m "t" (fun () -> 7) in
+  check Alcotest.int "returns the result" 7 v;
+  check Alcotest.bool "non-negative duration" true (wall >= 0.0);
+  (match
+     ignore (Stdx.Metrics.timed m "t" (fun () -> failwith "boom"))
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "timed swallowed the exception");
+  match Stdx.Metrics.find (Stdx.Metrics.snapshot m) "t" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check Alcotest.int "both calls recorded (even the raising one)" 2 h.count
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_metrics_json () =
+  let m = Stdx.Metrics.create () in
+  Stdx.Metrics.incr ~by:2 m "a";
+  check Alcotest.string "counters only"
+    "{\"counters\":{\"a\":2},\"gauges\":{},\"histograms\":{}}"
+    (Stdx.Metrics.to_json (Stdx.Metrics.snapshot m));
+  Stdx.Metrics.observe ~buckets:[| 1.0 |] m "h" 0.5;
+  check Alcotest.string "histogram block"
+    "{\"counters\":{\"a\":2},\"gauges\":{},\"histograms\":{\"h\":{\"buckets\":[1],\"counts\":[1,0],\"count\":1,\"sum\":0.5}}}"
+    (Stdx.Metrics.to_json (Stdx.Metrics.snapshot m));
+  let table = Stdx.Metrics.to_table (Stdx.Metrics.snapshot m) in
+  check Alcotest.bool "table renders every instrument" true
+    (let s = Stdx.Table.to_string table in
+     Astring.String.is_infix ~affix:"a" s
+     && Astring.String.is_infix ~affix:"histogram" s)
+
+(* ------------------------------------------------------------------ *)
+(* Sim.Trace                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_events : Sim.Trace.event list =
+  [
+    Sim.Trace.Meta
+      { label = "A(4,1) \"quoted\""; n = 4; f = 1; c = 2; time_bound = Some 9 };
+    Sim.Trace.Meta { label = ""; n = 1; f = 0; c = 2; time_bound = None };
+    Sim.Trace.Cell_start { cell = 0; label = "stuck f=[0] seed=1" };
+    Sim.Trace.Phase_start
+      { round = 0; phase = 0; adversary = "split-brain"; faulty = [ 0; 3 ] };
+    Sim.Trace.Round { round = 17; phase = 1 };
+    Sim.Trace.Corruption { round = 12; phase = 0; victims = [] };
+    Sim.Trace.Corruption { round = 12; phase = 2; victims = [ 1; 2 ] };
+    Sim.Trace.Detector_reset { round = 12; phase = 0 };
+    Sim.Trace.Verdict
+      { round = 60; phase = 0; stabilized = Some 14; recovery = Some 2 };
+    Sim.Trace.Verdict
+      { round = 60; phase = 1; stabilized = None; recovery = None };
+    Sim.Trace.Cell_end { cell = 0; wall_s = 0.001234 };
+    Sim.Trace.Cell_end { cell = 1; wall_s = 0.0 };
+  ]
+
+let test_null_writer () =
+  let t = Sim.Trace.null in
+  check Alcotest.bool "level off" true (Sim.Trace.level t = Sim.Trace.Off);
+  check Alcotest.bool "seams off" false (Sim.Trace.seams_on t);
+  check Alcotest.bool "rounds off" false (Sim.Trace.rounds_on t);
+  List.iter (Sim.Trace.emit t) sample_events;
+  check Alcotest.int "null never buffers" 0
+    (List.length (Sim.Trace.events t))
+
+let test_memory_ring () =
+  let t = Sim.Trace.memory () in
+  check Alcotest.bool "default level Seams" true
+    (Sim.Trace.seams_on t && not (Sim.Trace.rounds_on t));
+  List.iter (Sim.Trace.emit t) sample_events;
+  check Alcotest.bool "unbounded memory keeps everything in order" true
+    (Sim.Trace.events t = sample_events);
+  let ring = Sim.Trace.memory ~level:Sim.Trace.Rounds ~capacity:3 () in
+  for r = 1 to 10 do
+    Sim.Trace.emit ring (Sim.Trace.Round { round = r; phase = 0 })
+  done;
+  check Alcotest.bool "ring keeps the most recent capacity events" true
+    (Sim.Trace.events ring
+    = List.map
+        (fun r -> Sim.Trace.Round { round = r; phase = 0 })
+        [ 8; 9; 10 ]);
+  rejects "capacity < 1" (fun () ->
+      ignore (Sim.Trace.memory ~capacity:0 ()))
+
+let test_jsonl_round_trip () =
+  List.iter
+    (fun ev ->
+      match Sim.Trace.of_json (Sim.Trace.to_json ev) with
+      | Ok ev' ->
+        if not (Sim.Trace.equal_event ev ev') then
+          Alcotest.failf "round trip changed %s" (Sim.Trace.to_json ev)
+      | Error msg ->
+        Alcotest.failf "%s: did not parse back: %s" (Sim.Trace.to_json ev) msg)
+    sample_events
+
+let test_jsonl_round_trip_qcheck =
+  qcheck "Cell_end wall_s round-trips exactly (%.17g)"
+    QCheck.(pair small_nat (float_bound_inclusive 3600.0))
+    (fun (cell, wall_s) ->
+      (not (Float.is_finite wall_s))
+      ||
+      let ev = Sim.Trace.Cell_end { cell; wall_s } in
+      Sim.Trace.of_json (Sim.Trace.to_json ev) = Ok ev)
+
+let test_jsonl_writer_and_reader () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let t = Sim.Trace.jsonl oc in
+      List.iter (Sim.Trace.emit t) sample_events;
+      close_out oc;
+      let ic = open_in path in
+      let back =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Sim.Trace.read_jsonl ic)
+      in
+      check Alcotest.bool "file round-trips the stream" true
+        (back = Ok sample_events))
+
+let test_read_jsonl_errors () =
+  let parse s =
+    let path = Filename.temp_file "trace" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc;
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Sim.Trace.read_jsonl ic))
+  in
+  (match parse "{\"ev\":\"round\",\"round\":1,\"phase\":0}\nnot json\n" with
+  | Error msg ->
+    check Alcotest.bool "error names the line" true
+      (Astring.String.is_infix ~affix:"line 2" msg)
+  | Ok _ -> Alcotest.fail "accepted malformed line");
+  (match parse "{\"ev\":\"warp\"}\n" with
+  | Error msg ->
+    check Alcotest.bool "unknown kind reported" true
+      (Astring.String.is_infix ~affix:"warp" msg)
+  | Ok _ -> Alcotest.fail "accepted unknown event");
+  check Alcotest.bool "blank lines skipped" true
+    (parse "\n{\"ev\":\"round\",\"round\":1,\"phase\":0}\n\n"
+    = Ok [ Sim.Trace.Round { round = 1; phase = 0 } ])
+
+(* ------------------------------------------------------------------ *)
+(* Engine/Harness integration and the differential guarantee            *)
+(* ------------------------------------------------------------------ *)
+
+let leader =
+  Algo.Combinators.with_claimed_resilience
+    (Counting.Trivial.follow_leader ~n:4 ~c:5)
+    ~f:1
+
+let adversary = Sim.Adversary.random_equivocate ()
+
+let run_leader ?tracer ?metrics () =
+  Sim.Engine.run ?tracer ?metrics ~spec:leader ~adversary ~faulty:[ 0 ]
+    ~rounds:200 ~seed:5 ()
+
+let test_engine_emits_seam_events () =
+  let tr = Sim.Trace.memory () in
+  let o = run_leader ~tracer:tr () in
+  let events = Sim.Trace.events tr in
+  (match events with
+  | Sim.Trace.Phase_start { round = 0; phase = 0; adversary = a; faulty }
+    :: _ ->
+    check Alcotest.string "adversary name recorded" "random-equivocate" a;
+    check (Alcotest.list Alcotest.int) "faulty recorded" [ 0 ] faulty
+  | _ -> Alcotest.fail "first event must be Phase_start");
+  (match List.rev events with
+  | Sim.Trace.Verdict { stabilized; recovery; _ } :: _ ->
+    check Alcotest.bool "verdict matches the outcome" true
+      (match o.Sim.Engine.verdict with
+      | Sim.Stabilise.Stabilized s ->
+        stabilized = Some s && recovery = Some s
+      | Sim.Stabilise.Not_stabilized -> stabilized = None)
+  | _ -> Alcotest.fail "last event must be Verdict");
+  check Alcotest.bool "no Round events at Seams level" true
+    (List.for_all
+       (function Sim.Trace.Round _ -> false | _ -> true)
+       events)
+
+let test_engine_round_events_at_rounds_level () =
+  let tr = Sim.Trace.memory ~level:Sim.Trace.Rounds () in
+  let o = run_leader ~tracer:tr () in
+  let rounds =
+    List.filter
+      (function Sim.Trace.Round _ -> true | _ -> false)
+      (Sim.Trace.events tr)
+  in
+  (* one Round event per observed output row: rounds 0..rounds_simulated *)
+  check Alcotest.int "one Round event per observed row"
+    (o.Sim.Engine.rounds_simulated + 1)
+    (List.length rounds)
+
+let test_engine_run_matches_static_schedule_stream () =
+  let stream f =
+    let tr = Sim.Trace.memory ~level:Sim.Trace.Rounds () in
+    ignore (f tr);
+    Sim.Trace.events tr
+  in
+  let via_run tr = run_leader ~tracer:tr () in
+  let via_schedule tr =
+    Sim.Engine.run_schedule ~tracer:tr ~spec:leader
+      ~schedule:(Sim.Schedule.static ~adversary ~faulty:[ 0 ] ~rounds:200)
+      ~seed:5 ()
+  in
+  check Alcotest.bool "identical event streams" true
+    (stream via_run = stream via_schedule)
+
+let test_engine_metrics_content () =
+  let m = Stdx.Metrics.create () in
+  let o = run_leader ~metrics:m () in
+  let snap = Stdx.Metrics.snapshot m in
+  check Alcotest.bool "runs counted" true
+    (Stdx.Metrics.find snap "engine.runs" = Some (Stdx.Metrics.Counter 1));
+  check Alcotest.bool "rounds counted" true
+    (Stdx.Metrics.find snap "engine.rounds"
+    = Some (Stdx.Metrics.Counter o.Sim.Engine.rounds_simulated));
+  check Alcotest.bool "messages = rounds * n(n-1)" true
+    (Stdx.Metrics.find snap "engine.messages"
+    = Some
+        (Stdx.Metrics.Counter
+           (o.Sim.Engine.rounds_simulated * o.Sim.Engine.messages_per_round)))
+
+let test_engine_differential () =
+  let plain = run_leader () in
+  let traced =
+    run_leader
+      ~tracer:(Sim.Trace.memory ~level:Sim.Trace.Rounds ())
+      ~metrics:(Stdx.Metrics.create ()) ()
+  in
+  check Alcotest.bool "bit-identical outcome with telemetry on" true
+    (plain = traced)
+
+let test_run_schedule_differential () =
+  let schedule =
+    Sim.Schedule.random ~spec:leader
+      ~adversaries:(Sim.Adversary.standard_suite ())
+      ~phases:3 ~phase_rounds:60 ~events:2 ~max_victims:2 ~event_margin:16
+      ~seed:3 ()
+  in
+  let go ?tracer ?metrics () =
+    Sim.Engine.run_schedule ?tracer ?metrics ~spec:leader ~schedule ~seed:11
+      ()
+  in
+  let plain = go () in
+  let traced =
+    go
+      ~tracer:(Sim.Trace.memory ~level:Sim.Trace.Rounds ())
+      ~metrics:(Stdx.Metrics.create ()) ()
+  in
+  check Alcotest.bool "bit-identical schedule outcome with telemetry on" true
+    (plain = traced)
+
+let harness_config ~jobs =
+  Sim.Harness.Config.(
+    default |> with_rounds 150 |> with_seeds [ 1; 2 ] |> with_jobs jobs)
+
+let chaos_config ~jobs =
+  Sim.Harness.Chaos.Config.(
+    default |> with_campaigns 2 |> with_phases 2 |> with_phase_rounds 60
+    |> with_events 1 |> with_seeds [ 1; 2 ] |> with_jobs jobs)
+
+let test_harness_differential () =
+  let go ?metrics ?trace jobs =
+    Sim.Harness.run ?metrics ?trace
+      ~config:(harness_config ~jobs)
+      ~spec:leader
+      ~adversaries:(Sim.Adversary.standard_suite ())
+      ()
+  in
+  let plain = go 1 in
+  let m = Stdx.Metrics.create () in
+  let tr = Sim.Trace.memory () in
+  check Alcotest.bool "harness aggregate identical with telemetry on" true
+    (plain = go ~metrics:m ~trace:tr 1);
+  check Alcotest.bool "telemetry actually collected" true
+    (Stdx.Metrics.snapshot m <> [] && Sim.Trace.events tr <> [])
+
+let test_chaos_differential () =
+  let go ?metrics ?trace jobs =
+    Sim.Harness.Chaos.run ?metrics ?trace
+      ~config:(chaos_config ~jobs)
+      ~spec:leader
+      ~adversaries:(Sim.Adversary.standard_suite ())
+      ()
+  in
+  let plain = go 1 in
+  check Alcotest.bool "chaos aggregate identical with telemetry on" true
+    (plain
+    = go ~metrics:(Stdx.Metrics.create ()) ~trace:(Sim.Trace.memory ()) 1)
+
+(* Wall-clock samples are the one nondeterministic instrument; the jobs
+   determinism guarantee covers everything else. *)
+let drop_wall snap =
+  List.filter
+    (fun (name, _) ->
+      not (Astring.String.is_infix ~affix:"wall_s" name))
+    snap
+
+let normalise_wall =
+  List.map (fun (ev : Sim.Trace.event) ->
+      match ev with
+      | Sim.Trace.Cell_end { cell; wall_s = _ } ->
+        Sim.Trace.Cell_end { cell; wall_s = 0.0 }
+      | ev -> ev)
+
+let test_harness_telemetry_jobs_determinism () =
+  let at jobs =
+    let m = Stdx.Metrics.create () in
+    let tr = Sim.Trace.memory () in
+    ignore
+      (Sim.Harness.run ~metrics:m ~trace:tr
+         ~config:(harness_config ~jobs)
+         ~spec:leader
+         ~adversaries:(Sim.Adversary.standard_suite ())
+         ());
+    (drop_wall (Stdx.Metrics.snapshot m), normalise_wall (Sim.Trace.events tr))
+  in
+  let m1, t1 = at 1 in
+  let mn, tn = at parallel_jobs in
+  check Alcotest.bool
+    (Printf.sprintf "metrics identical at jobs=1 and jobs=%d" parallel_jobs)
+    true (m1 = mn);
+  check Alcotest.bool
+    (Printf.sprintf "trace identical at jobs=1 and jobs=%d" parallel_jobs)
+    true (t1 = tn)
+
+let test_chaos_telemetry_jobs_determinism () =
+  let at jobs =
+    let m = Stdx.Metrics.create () in
+    let tr = Sim.Trace.memory () in
+    ignore
+      (Sim.Harness.Chaos.run ~metrics:m ~trace:tr
+         ~config:(chaos_config ~jobs)
+         ~spec:leader
+         ~adversaries:(Sim.Adversary.standard_suite ())
+         ());
+    (drop_wall (Stdx.Metrics.snapshot m), normalise_wall (Sim.Trace.events tr))
+  in
+  let m1, t1 = at 1 in
+  let mn, tn = at parallel_jobs in
+  check Alcotest.bool
+    (Printf.sprintf "metrics identical at jobs=1 and jobs=%d" parallel_jobs)
+    true (m1 = mn);
+  check Alcotest.bool
+    (Printf.sprintf "trace identical at jobs=1 and jobs=%d" parallel_jobs)
+    true (t1 = tn);
+  check Alcotest.bool "cell markers bracket each campaign run" true
+    (match t1 with
+    | Sim.Trace.Cell_start { cell = 0; label } :: _ ->
+      Astring.String.is_infix ~affix:"campaign 1" label
+    | _ -> false)
+
+let suite =
+  [
+    ( "stdx.metrics",
+      [
+        case "counters and gauges" test_counters_and_gauges;
+        case "histogram bucket edges" test_histogram_bucket_edges;
+        case "kind/layout/finiteness rejects" test_metrics_rejects;
+        case "concurrent increments sum exactly"
+          test_concurrent_increments_sum_exactly;
+        case "merge is deterministic and additive" test_merge_determinism;
+        case "timed records even on raise" test_timed;
+        case "json and table rendering" test_metrics_json;
+      ] );
+    ( "sim.trace",
+      [
+        case "null writer is inert" test_null_writer;
+        case "memory sink and ring capacity" test_memory_ring;
+        case "jsonl round trip (all variants)" test_jsonl_round_trip;
+        test_jsonl_round_trip_qcheck;
+        case "jsonl writer/reader round trip" test_jsonl_writer_and_reader;
+        case "reader reports line numbers" test_read_jsonl_errors;
+      ] );
+    ( "sim.telemetry",
+      [
+        case "engine emits seam events" test_engine_emits_seam_events;
+        case "Round events at Rounds level"
+          test_engine_round_events_at_rounds_level;
+        case "run and static schedule streams identical"
+          test_engine_run_matches_static_schedule_stream;
+        case "engine metrics content" test_engine_metrics_content;
+        case "engine differential: telemetry inert" test_engine_differential;
+        case "run_schedule differential: telemetry inert"
+          test_run_schedule_differential;
+        case "harness differential: telemetry inert"
+          test_harness_differential;
+        case "chaos differential: telemetry inert" test_chaos_differential;
+        case "harness telemetry jobs determinism"
+          test_harness_telemetry_jobs_determinism;
+        case "chaos telemetry jobs determinism"
+          test_chaos_telemetry_jobs_determinism;
+      ] );
+  ]
