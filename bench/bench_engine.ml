@@ -1,0 +1,154 @@
+(* Experiment E1: flat-state engine throughput.
+
+   Runs the same (spec, adversary, faulty, rounds, seed) execution twice
+   — once on the flat packed-code path (the spec's codec) and once on
+   the boxed per-node path (codec stripped) — verifies the outcomes are
+   identical, and reports node-rounds/sec for both plus the speedup.
+   The headline case is A(12,3): n = 12 with ~1.5e10 states per node,
+   exactly the scale the boxed engine made unaffordable.
+
+   Results land in BENCH_engine.json. *)
+
+let json_path = "BENCH_engine.json"
+
+type row = {
+  label : string;
+  n : int;
+  adversary : string;
+  faulty : int list;
+  rounds : int;
+  identical : bool;
+  flat_wall_s : float;
+  boxed_wall_s : float;
+  flat_node_rounds_per_s : float;
+  boxed_node_rounds_per_s : float;
+  speedup : float;
+}
+
+let metrics = Stdx.Metrics.create ()
+
+let measure (type s) ~label ~(spec : s Algo.Spec.t) ~adversary ~faulty ~rounds
+    ~seed () =
+  let boxed_spec = { spec with Algo.Spec.codec = None } in
+  let go sp =
+    Stdx.Metrics.timed metrics "bench.engine_wall_s" (fun () ->
+        Sim.Engine.run ~mode:Sim.Engine.Full_horizon ~spec:sp ~adversary
+          ~faulty ~rounds ~seed ())
+  in
+  (* Warm-up pass so allocation of the flat buffers and any lazy setup is
+     off the clock for both paths. *)
+  ignore (Sim.Engine.run ~mode:Sim.Engine.Full_horizon ~spec ~adversary
+            ~faulty ~rounds:(min rounds 50) ~seed ());
+  let flat_o, flat_wall = go spec in
+  let boxed_o, boxed_wall = go boxed_spec in
+  let identical =
+    Sim.Online.equal_verdict flat_o.Sim.Engine.verdict
+      boxed_o.Sim.Engine.verdict
+    && flat_o.Sim.Engine.rounds_simulated = boxed_o.Sim.Engine.rounds_simulated
+    && flat_o.Sim.Engine.early_exit = boxed_o.Sim.Engine.early_exit
+    && flat_o.Sim.Engine.recent_outputs = boxed_o.Sim.Engine.recent_outputs
+    && Array.for_all2
+         (fun a b -> spec.Algo.Spec.equal_state a b)
+         flat_o.Sim.Engine.final_states boxed_o.Sim.Engine.final_states
+  in
+  let node_rounds =
+    float_of_int (spec.Algo.Spec.n * flat_o.Sim.Engine.rounds_simulated)
+  in
+  {
+    label;
+    n = spec.Algo.Spec.n;
+    adversary = Sim.Adversary.name adversary;
+    faulty;
+    rounds;
+    identical;
+    flat_wall_s = flat_wall;
+    boxed_wall_s = boxed_wall;
+    flat_node_rounds_per_s = node_rounds /. Float.max 1e-9 flat_wall;
+    boxed_node_rounds_per_s = node_rounds /. Float.max 1e-9 boxed_wall;
+    speedup = boxed_wall /. Float.max 1e-9 flat_wall;
+  }
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"label\": %S, \"n\": %d, \"adversary\": %S, \"faulty\": [%s],\n\
+    \     \"rounds\": %d, \"identical_outcomes\": %b,\n\
+    \     \"flat_wall_s\": %.6f, \"boxed_wall_s\": %.6f,\n\
+    \     \"flat_node_rounds_per_s\": %.1f, \"boxed_node_rounds_per_s\": \
+     %.1f,\n\
+    \     \"speedup\": %.2f}"
+    r.label r.n r.adversary
+    (String.concat "," (List.map string_of_int r.faulty))
+    r.rounds r.identical r.flat_wall_s r.boxed_wall_s
+    r.flat_node_rounds_per_s r.boxed_node_rounds_per_s r.speedup
+
+let run () =
+  Bench_common.section
+    "Flat-state engine - packed codes vs boxed states, full horizon";
+  let a41 = (Bench_common.a41 ~c:2).Counting.Boost.spec in
+  let a12_3 = (Bench_common.a12_3 ~c:1728).Counting.Boost.spec in
+  let rows =
+    [
+      measure ~label:"A(4,1) benign" ~spec:a41
+        ~adversary:(Sim.Adversary.benign ()) ~faulty:[] ~rounds:4000 ~seed:1
+        ();
+      measure ~label:"A(4,1) split-brain" ~spec:a41
+        ~adversary:(Sim.Adversary.split_brain ()) ~faulty:[ 0 ] ~rounds:4000
+        ~seed:1 ();
+      measure ~label:"A(12,3) benign" ~spec:a12_3
+        ~adversary:(Sim.Adversary.benign ()) ~faulty:[] ~rounds:1200 ~seed:1
+        ();
+      measure ~label:"A(12,3) split-brain" ~spec:a12_3
+        ~adversary:(Sim.Adversary.split_brain ()) ~faulty:[ 0; 4; 8 ]
+        ~rounds:400 ~seed:1 ();
+    ]
+  in
+  let t =
+    Stdx.Table.create
+      [
+        "instance"; "adversary"; "rounds"; "flat nr/s"; "boxed nr/s";
+        "speedup"; "identical";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Stdx.Table.add_row t
+        [
+          r.label;
+          r.adversary;
+          string_of_int r.rounds;
+          Printf.sprintf "%.0f" r.flat_node_rounds_per_s;
+          Printf.sprintf "%.0f" r.boxed_node_rounds_per_s;
+          Printf.sprintf "%.1fx" r.speedup;
+          (if r.identical then "yes" else "NO");
+        ])
+    rows;
+  Stdx.Table.print t;
+  (* The acceptance headline: flat throughput on the big instance. *)
+  let headline =
+    List.find (fun r -> r.label = "A(12,3) benign") rows
+  in
+  Printf.printf
+    "\nheadline: %.0f node-rounds/sec flat on A(12,3) (boxed: %.0f, %.1fx)\n"
+    headline.flat_node_rounds_per_s headline.boxed_node_rounds_per_s
+    headline.speedup;
+  let all_identical = List.for_all (fun r -> r.identical) rows in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"flat-vs-boxed-engine\",\n\
+    \  \"headline\": {\"instance\": %S, \"node_rounds_per_s\": %.1f,\n\
+    \               \"boxed_node_rounds_per_s\": %.1f, \"speedup\": %.2f},\n\
+    \  \"all_identical_outcomes\": %b,\n\
+    \  \"measurements\": [\n%s\n  ],\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    headline.label headline.flat_node_rounds_per_s
+    headline.boxed_node_rounds_per_s headline.speedup all_identical
+    (String.concat ",\n" (List.map json_of_row rows))
+    (Stdx.Metrics.to_json (Stdx.Metrics.snapshot metrics));
+  close_out oc;
+  Printf.printf "[engine throughput record written to %s]\n" json_path;
+  if not all_identical then begin
+    print_endline "ERROR: flat and boxed outcomes differ!";
+    exit 1
+  end

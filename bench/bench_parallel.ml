@@ -4,9 +4,21 @@
    seeds, 4000-round horizon — the same grid as experiment S1) at
    jobs = 1 and jobs = Domain.recommended_domain_count (), checks the
    outcome lists are identical (the Stdx.Pool determinism guarantee),
-   and writes wall clocks plus the speedup to BENCH_parallel.json. *)
+   and writes wall clocks plus the speedup to BENCH_parallel.json.
+
+   Each measurement records the jobs count it actually ran at —
+   Stdx.Pool clamps jobs to the grid size, and on a single-core box
+   the "parallel" row legitimately degenerates to jobs = 1 — so the
+   JSON rows describe the executions, not the requested configs. *)
 
 let json_path = "BENCH_parallel.json"
+
+type measurement = {
+  requested_jobs : int;
+  jobs : int;  (** what the pool actually used: min requested runs *)
+  runs : int;
+  wall_s : float;
+}
 
 let run () =
   let ncores = Stdx.Pool.recommended_jobs () in
@@ -21,44 +33,52 @@ let run () =
   (* Local registry per jobs count: harness metrics must come out
      identical (apart from wall-clock samples) regardless of jobs — the
      snapshot of the parallel run is the one embedded in the JSON. *)
-  let go jobs =
+  let go requested_jobs =
     let config =
       Sim.Harness.Config.(
         default |> with_fault_sets fault_sets |> with_seeds seeds
-        |> with_rounds rounds |> with_jobs jobs)
+        |> with_rounds rounds |> with_jobs requested_jobs)
     in
     let metrics = Stdx.Metrics.create () in
     let agg, wall =
       Bench_common.timed_sweep
-        ~label:(Printf.sprintf "a41-sweep-jobs-%d" jobs)
+        ~label:(Printf.sprintf "a41-sweep-jobs-%d" requested_jobs)
         ~mode:Sim.Engine.Streaming
         (fun () -> Sim.Harness.run ~metrics ~config ~spec ~adversaries ())
     in
-    (agg, wall, Stdx.Metrics.snapshot metrics)
+    let runs = List.length agg.Sim.Harness.outcomes in
+    ( agg,
+      { requested_jobs; jobs = min requested_jobs runs; runs; wall_s = wall },
+      Stdx.Metrics.snapshot metrics )
   in
-  let base, wall_1, _ = go 1 in
-  let par, wall_n, par_metrics = go ncores in
+  let base, m1, _ = go 1 in
+  let par, mn, par_metrics = go ncores in
+  let measurements = [ m1; mn ] in
   let parity = base.Sim.Harness.outcomes = par.Sim.Harness.outcomes in
-  let runs = List.length base.Sim.Harness.outcomes in
-  let speedup = wall_1 /. Float.max 1e-9 wall_n in
+  let speedup = m1.wall_s /. Float.max 1e-9 mn.wall_s in
   let t = Stdx.Table.create [ "jobs"; "runs"; "wall clock (s)"; "speedup" ] in
-  let row jobs wall =
-    Stdx.Table.add_row t
-      [
-        string_of_int jobs;
-        string_of_int runs;
-        Printf.sprintf "%.3f" wall;
-        Printf.sprintf "%.2fx" (wall_1 /. Float.max 1e-9 wall);
-      ]
-  in
-  row 1 wall_1;
-  row ncores wall_n;
+  List.iter
+    (fun m ->
+      Stdx.Table.add_row t
+        [
+          string_of_int m.jobs;
+          string_of_int m.runs;
+          Printf.sprintf "%.3f" m.wall_s;
+          Printf.sprintf "%.2fx" (m1.wall_s /. Float.max 1e-9 m.wall_s);
+        ])
+    measurements;
   Stdx.Table.print t;
   Printf.printf
-    "\noutcome parity at jobs=%d: %s; recommended_domain_count = %d\n" ncores
-    (if parity then Printf.sprintf "IDENTICAL (all %d runs)" runs
+    "\noutcome parity at jobs=%d: %s; recommended_domain_count = %d\n" mn.jobs
+    (if parity then Printf.sprintf "IDENTICAL (all %d runs)" m1.runs
      else "MISMATCH")
     ncores;
+  let json_of_measurement m =
+    Printf.sprintf
+      "    {\"jobs\": %d, \"requested_jobs\": %d, \"runs\": %d, \
+       \"wall_clock_s\": %.6f}"
+      m.jobs m.requested_jobs m.runs m.wall_s
+  in
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n\
@@ -67,14 +87,13 @@ let run () =
     \  \"runs\": %d,\n\
     \  \"recommended_domain_count\": %d,\n\
     \  \"outcome_parity\": %b,\n\
-    \  \"measurements\": [\n\
-    \    {\"jobs\": 1, \"wall_clock_s\": %.6f},\n\
-    \    {\"jobs\": %d, \"wall_clock_s\": %.6f}\n\
-    \  ],\n\
+    \  \"measurements\": [\n%s\n  ],\n\
     \  \"speedup\": %.3f,\n\
     \  \"metrics\": %s\n\
      }\n"
-    rounds runs ncores parity wall_1 ncores wall_n speedup
+    rounds m1.runs ncores parity
+    (String.concat ",\n" (List.map json_of_measurement measurements))
+    speedup
     (Stdx.Metrics.to_json par_metrics);
   close_out oc;
   Printf.printf "[parallel sweep record written to %s]\n" json_path;

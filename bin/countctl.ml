@@ -637,12 +637,12 @@ let report_cmd =
           | Sim.Trace.Phase_start { round; phase; adversary; faulty } ->
             flush_pending ~end_round:round ~recovery:None;
             pending := Some (phase, adversary, faulty, round, 0)
-          | Sim.Trace.Corruption { round; phase; victims } ->
+          | Sim.Trace.Corruption { round; phase; requested; victims } ->
             (match !pending with
             | Some (p, a, f, s, corr) when p = phase ->
               pending := Some (p, a, f, s, corr + 1)
             | _ -> ());
-            timeline := (!cur_cell, round, phase, victims) :: !timeline
+            timeline := (!cur_cell, round, phase, requested, victims) :: !timeline
           | Sim.Trace.Detector_reset _ -> ()
           | Sim.Trace.Round _ -> incr rounds_seen
           | Sim.Trace.Verdict { round; phase = _; stabilized = _; recovery }
@@ -693,9 +693,13 @@ let report_cmd =
         | tl ->
           Printf.printf "\ncorruption timeline:\n";
           List.iter
-            (fun (cell, round, phase, victims) ->
-              Printf.printf "  round %d (phase %d, cell %d): %d victim(s) [%s]\n"
-                round phase cell (List.length victims) (ids victims))
+            (fun (cell, round, phase, requested, victims) ->
+              let actual = List.length victims in
+              Printf.printf "  round %d (phase %d, cell %d): %d victim(s) [%s]%s\n"
+                round phase cell actual (ids victims)
+                (if actual < requested then
+                   Printf.sprintf " (clamped from %d)" requested
+                 else ""))
             tl);
         (match
            List.sort (fun (_, a) (_, b) -> compare (b : float) a) !walls

@@ -14,6 +14,11 @@ REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness.chaos' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.metrics' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.telemetry' -q
 
+# Flat-vs-boxed certification: the packed-code engine path must be
+# bit-identical to the boxed path — including whole chaos campaigns run
+# through the parallel harness with real worker domains.
+REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.flat' -q
+
 # Chaos smoke: a fixed-seed campaign on A(4,1) must re-stabilise after
 # every scheduled perturbation (countctl exits non-zero otherwise), and
 # must do so identically across worker domains. The emitted trace must
@@ -30,9 +35,14 @@ rm -f "$trace_file"
 # covers a fresh BENCH_chaos.json.
 dune exec bench/main.exe -- chaos > /dev/null
 
+# Regenerate the flat-vs-boxed engine throughput record; the bench
+# itself exits non-zero if the two paths' outcomes ever differ.
+dune exec bench/main.exe -- engine > /dev/null
+
 # The bench logs must always be well-formed JSON (the at_exit flush is
 # crash-safe; a malformed file means that guarantee broke).
-for log in BENCH_sweep.json BENCH_parallel.json BENCH_chaos.json; do
+for log in BENCH_sweep.json BENCH_parallel.json BENCH_chaos.json \
+           BENCH_engine.json; do
   if [ -f "$log" ]; then
     dune exec bin/jsonlint.exe -- "$log"
   fi

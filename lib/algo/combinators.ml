@@ -10,6 +10,15 @@ let project_counter (spec : 's Spec.t) ~modulus =
     c = modulus;
     name = Printf.sprintf "%s mod %d" spec.name modulus;
     output = (fun ~self s -> spec.output ~self s mod modulus);
+    codec =
+      Option.map
+        (fun (codec : 's Spec.codec) ->
+          {
+            codec with
+            Spec.output_code =
+              (fun ~self code -> codec.output_code ~self code mod modulus);
+          })
+        spec.codec;
   }
 
 let rename (spec : 's Spec.t) name = { spec with name }
@@ -26,4 +35,7 @@ let observe (spec : 's Spec.t) ~on_transition =
         let next = spec.transition ~self ~rng received in
         on_transition ~self received next;
         next);
+    (* A codec kernel would bypass the wrapped transition and silently skip
+       the hook; dropping it forces the boxed path. *)
+    codec = None;
   }

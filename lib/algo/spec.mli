@@ -24,6 +24,30 @@
     Dolev-Welch) use the [rng] argument of [transition] and set
     [deterministic = false]; deterministic algorithms must ignore [rng]. *)
 
+type kernel = { step : self:int -> rng:Stdx.Rng.t -> int array -> int }
+(** A transition kernel operating directly on packed integer state codes:
+    [step ~self ~rng received] is [encode (g(self, decode received))].
+    Kernels may own mutable scratch buffers, so a kernel value must be
+    confined to one simulation run (see {!codec.fresh_kernel}). *)
+
+type 's codec = {
+  num_states : int;  (** [|X|]; codes are dense in [\[0, num_states)] *)
+  encode_state : 's -> int;
+      (** injective, order-preserving w.r.t. [compare_state] *)
+  decode_state : int -> 's;  (** left inverse of [encode_state] *)
+  output_code : self:int -> int -> int;
+      (** [h] in code space: [output_code ~self (encode_state s)
+          = output ~self s] *)
+  fresh_kernel : unit -> kernel;
+      (** a fresh kernel with private scratch; called once per engine run
+          so concurrent runs over a shared spec never race *)
+}
+(** Dense integer encoding of the state set [X], the contract behind the
+    flat (packed state vector) simulation path. The encoding is a bijection
+    between [X] and [\[0, num_states)] that agrees with [compare_state]'s
+    order, and the kernel computes exactly the spec's [transition] in code
+    space — the flat engine is certified bit-identical to the boxed one. *)
+
 type 's t = {
   name : string;  (** human-readable, e.g. ["boost(k=3,F=3) over triv"] *)
   n : int;  (** number of nodes the algorithm runs on *)
@@ -46,14 +70,50 @@ type 's t = {
           (non-faulty [j] send their true state, and
           [received.(self)] is the node's own state) *)
   output : self:int -> 's -> int;  (** [h(self, state)], in [\[0, c)] *)
+  codec : 's codec option;
+      (** dense int encoding of [X] enabling the flat engine path; [None]
+          falls back to the boxed per-node simulation *)
 }
+
+val generic_kernel :
+  n:int ->
+  transition:(self:int -> rng:Stdx.Rng.t -> 's array -> 's) ->
+  encode_state:('s -> int) ->
+  decode_state:(int -> 's) ->
+  unit ->
+  kernel
+(** Reference kernel: decode every received code into a private scratch
+    array, apply [transition], encode the result. Always exact, never
+    fast — the building block for specs without a hand-written flat
+    kernel. *)
+
+val identity_codec :
+  num_states:int ->
+  transition:(self:int -> rng:Stdx.Rng.t -> int array -> int) ->
+  output:(self:int -> int -> int) ->
+  int codec
+(** Codec for specs whose state type is already a dense [int] in
+    [\[0, num_states)]: encoding is the identity and the kernel is the
+    spec's own transition. *)
+
+val derive_codec : 's t -> 's codec option
+(** [derive_codec spec] builds a codec from [all_states] (sorted by
+    [compare_state]; encoding by binary search, kernel via
+    {!generic_kernel}). [None] when [all_states] is [None]. *)
+
+val with_derived_codec : 's t -> 's t
+(** [with_derived_codec spec] is [spec] with [codec] replaced by
+    [derive_codec spec]. *)
 
 val validate : 's t -> (unit, string) result
 (** Structural sanity checks: [n >= 1], [0 <= f], [c >= 1],
     [state_bits >= 1], and when [all_states] is available, that outputs of
     all states at all nodes lie in [\[0, c)], that [X] is closed under
     [transition] from honest vectors, and that [state_bits] is at least
-    [ceil(log2 |X|)]. *)
+    [ceil(log2 |X|)]. When [codec] is present, additionally checks
+    [num_states >= 1], that [state_bits] covers [num_states], and (given
+    [all_states]) that the codec round-trips every state inside
+    [\[0, num_states)]. *)
 
 val validate_exn : 's t -> 's t
 (** [validate_exn spec] is [spec], or raises [Invalid_argument] with the

@@ -146,6 +146,176 @@ let naive_phase_king_step ~cap ~big_n ~index ~(self : Phase_king.reg) ~received
     in
     { Phase_king.a; d = true }
 
+(* Flat transition kernel: the exact computation of [transition] below, but
+   over packed integer codes. The code layout is
+
+     code = (inner_code * (C + 1) + a_code) * 2 + d_code
+
+   with [a_code = 0] for the reset register (None) and [x + 1] for [Some x]
+   — the same order as the polymorphic compare on [int option], so code
+   order agrees with [compare_state] whenever the inner codec's does.
+
+   All scratch lives in the kernel closure; a kernel instance must not be
+   shared across concurrent runs (see Algo.Spec.codec.fresh_kernel). *)
+let flat_kernel (ic : _ Algo.Spec.codec) p ~big_c view_params () =
+  ignore (view_params : Counter_view.params array);
+  let num_a = big_c + 1 in
+  let cap = big_c in
+  let big_n = p.big_n
+  and n_inner = p.n_inner
+  and k = p.k
+  and big_f = p.big_f
+  and m = p.m
+  and tau = p.tau in
+  (* Per-level view constants of Counter_view.make_params ~tau ~m ~level
+     with the default base 2m (the flat kernel is never used for ablated
+     variants, which fall back to the generic kernel). *)
+  let pow_level = Array.init k (fun l -> Stdx.Imath.pow (2 * m) l) in
+  let modulus = Array.init k (fun l -> tau * pow_level.(l) * 2 * m) in
+  (* Scratch: the decoded (r, b) views and a-registers of all N nodes, the
+     per-block leader ballots, the inner-block message codes, and the
+     phase-king histogram (kept in sync with [cached]). *)
+  let view_r = Array.make big_n 0 in
+  let view_b = Array.make big_n 0 in
+  let a_codes = Array.make big_n 0 in
+  let block_votes = Array.make k 0 in
+  let inner_msgs = Array.make n_inner 0 in
+  let hist = Array.make (cap + 1) 0 in
+  (* Everything the phase-king step reads — views, nested majorities, the
+     a-register histogram, the smallest F+1-supported value — depends only
+     on the received code vector, not on [self], and consumes no rng. The
+     engine presents the same vector to every recipient except for the
+     per-recipient faulty slots, so one [refresh] usually serves many
+     (benign rounds: all) step calls. *)
+  let valid = ref false in
+  let cached = Array.make big_n 0 in
+  let leader = ref 0 in
+  let r_value = ref 0 in
+  let min_sup = ref 0 in
+  let inner_kernel = ic.Algo.Spec.fresh_kernel () in
+  (* Boyer-Moore majority with verification over a.(lo .. lo+len-1),
+     mirroring Algo.Vote.majority_int. *)
+  let majority_slice (a : int array) ~lo ~len ~default =
+    let candidate = ref 0 and score = ref 0 in
+    for i = lo to lo + len - 1 do
+      let x = a.(i) in
+      if !score = 0 then begin
+        candidate := x;
+        score := 1
+      end
+      else if x = !candidate then incr score
+      else decr score
+    done;
+    let cnt = ref 0 in
+    for i = lo to lo + len - 1 do
+      if a.(i) = !candidate then incr cnt
+    done;
+    if !cnt * 2 > len then !candidate else default
+  in
+  (* Register increment in code space: None stays None, Some x becomes
+     Some ((x + 1) mod cap). *)
+  let incr_code c = if c = 0 then 0 else (c mod cap) + 1 in
+  let bin_of c = if c = 0 then cap else c - 1 in
+  let refresh (received : int array) =
+    (* The histogram tracks [cached]'s a-codes: undo the old vector's
+       contributions (O(N), not O(cap)) before loading the new one. *)
+    if !valid then
+      for u = 0 to big_n - 1 do
+        let b = bin_of a_codes.(u) in
+        hist.(b) <- hist.(b) - 1
+      done;
+    valid := true;
+    (* Decode every node's view and a-register from its code. *)
+    for u = 0 to big_n - 1 do
+      let code = received.(u) in
+      cached.(u) <- code;
+      let rest = code lsr 1 in
+      let c = rest mod num_a in
+      a_codes.(u) <- c;
+      let b = bin_of c in
+      hist.(b) <- hist.(b) + 1;
+      let blk = u / n_inner in
+      let value = ic.Algo.Spec.output_code ~self:(u mod n_inner) (rest / num_a) in
+      let v' = value mod modulus.(blk) in
+      view_r.(u) <- v' mod tau;
+      view_b.(u) <- v' / tau / pow_level.(blk) mod m
+    done;
+    (* Nested majorities: per-block leader pointers, leader block, and the
+       leader block's round counter. *)
+    for i = 0 to k - 1 do
+      block_votes.(i) <-
+        majority_slice view_b ~lo:(i * n_inner) ~len:n_inner ~default:0
+    done;
+    leader := majority_slice block_votes ~lo:0 ~len:k ~default:0;
+    r_value :=
+      majority_slice view_r ~lo:(!leader * n_inner) ~len:n_inner ~default:0;
+    (* Smallest value with more than F votes (I_{3l+1}); scanning the
+       received values (any such value occurs at least once) instead of
+       all of [0, cap) keeps this O(N). *)
+    let best = ref cap in
+    for u = 0 to big_n - 1 do
+      let c = a_codes.(u) in
+      if c <> 0 then begin
+        let j = c - 1 in
+        if j < !best && hist.(j) > big_f then best := j
+      end
+    done;
+    min_sup := if !best = cap then 0 else !best + 1
+  in
+  let step ~self ~rng (received : int array) =
+    let block = self / n_inner and slot = self mod n_inner in
+    (* Step 1: advance this block's copy of A on the block's messages.
+       Runs first so the per-node rng is consumed exactly as in the boxed
+       transition. *)
+    let base = block * n_inner in
+    for j = 0 to n_inner - 1 do
+      inner_msgs.(j) <- received.(base + j) lsr 1 / num_a
+    done;
+    let inner' = inner_kernel.Algo.Spec.step ~self:slot ~rng inner_msgs in
+    (* Step 2: views and nested majorities, served from the cache when
+       this recipient saw the same vector as the previous step call. *)
+    let same =
+      !valid
+      &&
+      let i = ref 0 in
+      while !i < big_n && received.(!i) = cached.(!i) do
+        incr i
+      done;
+      !i = big_n
+    in
+    if not same then refresh received;
+    (* Step 3: phase-king instruction I_{r_value} on the (a, d) registers.
+       Byzantine clamping is a no-op here: every a-code lies in
+       [0, cap + 1) by construction of the encoding. *)
+    let self_a = a_codes.(self) in
+    let self_d = received.(self) land 1 in
+    let a', d' =
+      match !r_value mod 3 with
+      | 0 ->
+        let support = hist.(bin_of self_a) in
+        let a = if support < big_n - big_f then 0 else self_a in
+        (incr_code a, self_d)
+      | 1 ->
+        let d = if hist.(bin_of self_a) >= big_n - big_f then 1 else 0 in
+        (incr_code !min_sup, d)
+      | _ ->
+        let ell = !r_value / 3 in
+        let a =
+          if self_a = 0 || self_d = 0 then begin
+            let imposed =
+              let c = a_codes.(ell) in
+              if c = 0 then cap else c - 1
+            in
+            ((imposed + 1) mod cap) + 1
+          end
+          else incr_code self_a
+        in
+        (a, 1)
+    in
+    ((inner' * num_a + a') lsl 1) lor d'
+  in
+  { Algo.Spec.step }
+
 let construct_gen ?ablation ~(inner : 's Algo.Spec.t) ~k ~big_f ~big_c () =
   let p =
     plan_exn ~k ~big_f ~big_c ~n_inner:inner.Algo.Spec.n
@@ -218,6 +388,54 @@ let construct_gen ?ablation ~(inner : 's Algo.Spec.t) ~k ~big_f ~big_c () =
     { inner = inner'; a = reg.Phase_king.a; d = reg.Phase_king.d }
   in
   let output ~self:_ s = match s.a with Some x -> x mod big_c | None -> 0 in
+  let codec =
+    match inner.Algo.Spec.codec with
+    | None -> None
+    | Some ic -> (
+      let num_a = big_c + 1 in
+      match
+        Stdx.Imath.mul_checked
+          (Stdx.Imath.mul_checked ic.Algo.Spec.num_states num_a)
+          2
+      with
+      | exception Failure _ -> None (* state space exceeds 63-bit codes *)
+      | num_states ->
+        let encode_state (s : 's state) =
+          let a_code = match s.a with None -> 0 | Some x -> x + 1 in
+          (((ic.Algo.Spec.encode_state s.inner * num_a) + a_code) lsl 1)
+          lor (if s.d then 1 else 0)
+        in
+        let decode_state code =
+          let rest = code lsr 1 in
+          let a_code = rest mod num_a in
+          {
+            inner = ic.Algo.Spec.decode_state (rest / num_a);
+            a = (if a_code = 0 then None else Some (a_code - 1));
+            d = code land 1 = 1;
+          }
+        in
+        let output_code ~self:_ code =
+          let a_code = code lsr 1 mod num_a in
+          if a_code = 0 then 0 else (a_code - 1) mod big_c
+        in
+        let fresh_kernel =
+          match ablation with
+          | None -> flat_kernel ic p ~big_c view_params
+          | Some _ ->
+            (* Ablated variants stay on the reference kernel so their
+               deliberately broken semantics are preserved verbatim. *)
+            Algo.Spec.generic_kernel ~n:p.big_n ~transition ~encode_state
+              ~decode_state
+        in
+        Some
+          {
+            Algo.Spec.num_states;
+            encode_state;
+            decode_state;
+            output_code;
+            fresh_kernel;
+          })
+  in
   let tag =
     match ablation with
     | None -> ""
@@ -243,6 +461,7 @@ let construct_gen ?ablation ~(inner : 's Algo.Spec.t) ~k ~big_f ~big_c () =
       all_states = None;
       transition;
       output;
+      codec;
     }
   in
   { spec; params = p; inner; view_params }

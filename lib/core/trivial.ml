@@ -21,6 +21,13 @@ let base ~name ~n ~c ~transition : int Algo.Spec.t =
     all_states = (if c <= enumeration_limit then states_of c else None);
     transition;
     output = (fun ~self:_ s -> s);
+    codec =
+      (* Identity: the state already is a dense int in [0, c). Unlike
+         [all_states], the codec has no enumeration cost, so it is present
+         at every c. *)
+      Some
+        (Algo.Spec.identity_codec ~num_states:c ~transition
+           ~output:(fun ~self:_ code -> code));
   }
 
 let single ~c =

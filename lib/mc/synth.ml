@@ -76,7 +76,9 @@ let to_spec cand =
         in
         cand.table.(key));
     output = (fun ~self:_ st -> st mod fam.c);
+    codec = None;
   }
+  |> Algo.Spec.with_derived_codec
 
 let table_size fam =
   try Stdx.Imath.pow fam.s fam.key_count with Failure _ -> max_int

@@ -39,6 +39,61 @@ type 's outcome = {
 let validate_faulty ~n ~f faulty =
   Schedule.validate_faulty ~who:"Engine.run" ~n ~f faulty
 
+(* Packed state vector of the flat path: one slot per node holding the
+   spec's integer state code. Codes below 256 pack into a byte string;
+   larger state spaces use an unboxed int bigarray (up to 2^62 codes). *)
+module Statebuf = struct
+  type t =
+    | Small of Bytes.t
+    | Wide of (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let create ~num_states n =
+    if num_states <= 256 then Small (Bytes.make n '\000')
+    else begin
+      let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout n in
+      Bigarray.Array1.fill a 0;
+      Wide a
+    end
+
+  let get t i =
+    match t with
+    | Small b -> Char.code (Bytes.get b i)
+    | Wide a -> Bigarray.Array1.get a i
+
+  let set t i v =
+    match t with
+    | Small b -> Bytes.set b i (Char.chr v)
+    | Wide a -> Bigarray.Array1.set a i v
+
+  let blit_to t (dst : int array) n =
+    match t with
+    | Small b ->
+      for i = 0 to n - 1 do
+        dst.(i) <- Char.code (Bytes.get b i)
+      done
+    | Wide a ->
+      for i = 0 to n - 1 do
+        dst.(i) <- Bigarray.Array1.get a i
+      done
+end
+
+(* The two state-vector representations behind [run_schedule]'s single
+   scheduler loop. All phase/event/detector/report logic is shared; only
+   these seven operations differ between the boxed and the flat path, so
+   the differential certification reduces to certifying these closures. *)
+type 's rep = {
+  probe_hook : round:int -> unit;
+  outputs_row : unit -> int array;
+      (** output row of the current states; the flat path reuses one
+          scratch row ({!Online.observe} copies what it keeps) *)
+  trace_hook : round:int -> outputs:int array -> unit;
+  begin_corrupt : unit -> unit;
+      (** called once before a corruption event's victims are struck *)
+  corrupt_node : int -> unit;
+  advance : round:int -> unit;  (** craft + transition + buffer swap *)
+  final_states : unit -> 's array;
+}
+
 let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
     ?(mode = Streaming) ?min_suffix ?window ~(spec : 's Algo.Spec.t)
     ~(schedule : 's Schedule.t) ~seed () =
@@ -59,20 +114,18 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
   (* RNG stream layout extends the historical [run]/[Network.run] layout
      (init, adversary, per-node) with one corruption stream split {e
      last}, so a single-phase schedule is byte-for-byte the same
-     execution as the static run of the same seed. *)
+     execution as the static run of the same seed. Both representations
+     draw from every stream in the same order, which is what makes the
+     flat path bit-identical to the boxed one. *)
   let master = Stdx.Rng.create seed in
   let init_rng = Stdx.Rng.split master in
   let adv_rng = Stdx.Rng.split master in
   let node_rng = Array.init n (fun _ -> Stdx.Rng.split master) in
   let corrupt_rng = Stdx.Rng.split master in
-  let initial =
-    match init with
-    | Some states ->
-      if Array.length states <> n then
-        invalid_arg "Engine.run_schedule: init has wrong length";
-      Array.copy states
-    | None -> Array.init n (fun _ -> spec.Algo.Spec.random_state init_rng)
-  in
+  (match init with
+  | Some states when Array.length states <> n ->
+    invalid_arg "Engine.run_schedule: init has wrong length"
+  | _ -> ());
   (* Per-phase fault bookkeeping, refreshed at every phase boundary. *)
   let faulty = ref [||] in
   let correct = ref [] in
@@ -98,6 +151,130 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
              faulty = Array.to_list fa;
            })
   in
+  (* The flat path requires a codec and is bypassed by the 's-typed
+     [probe]/[trace] hooks, which need real boxed state vectors every
+     round. Structured [tracer]/[metrics] observers are representation-
+     independent and stay on. *)
+  let flat_codec =
+    match (spec.Algo.Spec.codec, probe, trace) with
+    | Some codec, None, None -> Some codec
+    | _ -> None
+  in
+  let rep =
+    match flat_codec with
+    | None ->
+      let current =
+        ref
+          (match init with
+          | Some states -> Array.copy states
+          | None -> Array.init n (fun _ -> spec.Algo.Spec.random_state init_rng))
+      in
+      {
+        probe_hook =
+          (fun ~round ->
+            match probe with
+            | Some p -> p ~round ~states:!current
+            | None -> ());
+        outputs_row =
+          (fun () ->
+            Array.mapi (fun v s -> spec.Algo.Spec.output ~self:v s) !current);
+        trace_hook =
+          (fun ~round ~outputs ->
+            match trace with
+            | Some tr -> tr ~round ~states:!current ~outputs
+            | None -> ());
+        (* Corrupt a copy: full traces already materialised by a [trace]
+           hook hold the genuine pre-event rows. *)
+        begin_corrupt = (fun () -> current := Array.copy !current);
+        corrupt_node =
+          (fun v -> !current.(v) <- spec.Algo.Spec.random_state corrupt_rng);
+        advance =
+          (fun ~round ->
+            let fa = !faulty in
+            let cur = !current in
+            let crafted =
+              if Array.length fa = 0 then [||]
+              else
+                !crafter.Adversary.craft ~spec ~rng:adv_rng ~round ~states:cur
+                  ~faulty:fa
+            in
+            (* Per-recipient view: truth everywhere, overridden on faulty
+               slots. *)
+            let next =
+              Array.init n (fun v ->
+                  let received = Array.copy cur in
+                  Array.iteri
+                    (fun fi sender -> received.(sender) <- crafted.(fi).(v))
+                    fa;
+                  spec.Algo.Spec.transition ~self:v ~rng:node_rng.(v) received)
+            in
+            current := next);
+        final_states = (fun () -> !current);
+      }
+    | Some codec ->
+      let num_states = codec.Algo.Spec.num_states in
+      let encode = codec.Algo.Spec.encode_state in
+      let decode = codec.Algo.Spec.decode_state in
+      let cur = ref (Statebuf.create ~num_states n) in
+      let nxt = ref (Statebuf.create ~num_states n) in
+      let kernel = codec.Algo.Spec.fresh_kernel () in
+      let recv = Array.make n 0 in
+      let outs = Array.make n 0 in
+      (* Boxed mirror of the current states, refreshed only when a crafter
+         needs to look at them (faulty set non-empty). *)
+      let mirror = Array.make n (decode 0) in
+      (match init with
+      | Some states ->
+        Array.iteri (fun v s -> Statebuf.set !cur v (encode s)) states
+      | None ->
+        for v = 0 to n - 1 do
+          Statebuf.set !cur v (encode (spec.Algo.Spec.random_state init_rng))
+        done);
+      {
+        probe_hook = (fun ~round:_ -> ());
+        outputs_row =
+          (fun () ->
+            for v = 0 to n - 1 do
+              outs.(v) <- codec.Algo.Spec.output_code ~self:v (Statebuf.get !cur v)
+            done;
+            outs);
+        trace_hook = (fun ~round:_ ~outputs:_ -> ());
+        begin_corrupt = (fun () -> ());
+        corrupt_node =
+          (fun v ->
+            Statebuf.set !cur v
+              (encode (spec.Algo.Spec.random_state corrupt_rng)));
+        advance =
+          (fun ~round ->
+            let fa = !faulty in
+            let nf = Array.length fa in
+            let crafted =
+              if nf = 0 then [||]
+              else begin
+                for v = 0 to n - 1 do
+                  mirror.(v) <- decode (Statebuf.get !cur v)
+                done;
+                !crafter.Adversary.craft ~spec ~rng:adv_rng ~round
+                  ~states:mirror ~faulty:fa
+              end
+            in
+            Statebuf.blit_to !cur recv n;
+            for v = 0 to n - 1 do
+              (* Faulty slots are rewritten for every recipient, so the
+                 shared recv scratch never needs restoring. *)
+              for fi = 0 to nf - 1 do
+                recv.(fa.(fi)) <- encode crafted.(fi).(v)
+              done;
+              Statebuf.set !nxt v
+                (kernel.Algo.Spec.step ~self:v ~rng:node_rng.(v) recv)
+            done;
+            let tmp = !cur in
+            cur := !nxt;
+            nxt := tmp);
+        final_states =
+          (fun () -> Array.init n (fun v -> decode (Statebuf.get !cur v)));
+      }
+  in
   enter_phase 0;
   let detector =
     Online.create ?window ~c:spec.Algo.Spec.c ~correct:!correct ~min_suffix ()
@@ -111,7 +288,7 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
   let pert_count = ref 1 in
   let corruption_events = ref 0 in
   let corrupted_nodes = ref 0 in
-  let current = ref initial in
+  let clamped_events = ref 0 in
   let t = ref 0 in
   let stop = ref false in
   let early = ref false in
@@ -164,34 +341,33 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
       last_pert := !t;
       pert_count := 1
     done;
-    (* Transient corruption strikes before the round's row is observed.
-       Corrupt a copy: full traces already materialised by a [trace] hook
-       hold the genuine pre-event rows. *)
+    (* Transient corruption strikes before the round's row is observed. *)
     let rec apply_events () =
       match !pending with
       | { Schedule.round; victims } :: rest when round = !t ->
         pending := rest;
         let correct_arr = Array.of_list !correct in
-        let k = min victims (Array.length correct_arr) in
+        let avail = Array.length correct_arr in
+        let k = min victims avail in
         let hit = ref [] in
         if k > 0 then begin
-          let cur = Array.copy !current in
+          rep.begin_corrupt ();
           List.iter
             (fun i ->
               hit := correct_arr.(i) :: !hit;
-              cur.(correct_arr.(i)) <- spec.Algo.Spec.random_state corrupt_rng)
-            (Stdx.Rng.sample_without_replacement corrupt_rng k
-               (Array.length correct_arr));
-          current := cur
+              rep.corrupt_node correct_arr.(i))
+            (Stdx.Rng.sample_without_replacement corrupt_rng k avail)
         end;
         incr corruption_events;
         corrupted_nodes := !corrupted_nodes + k;
+        if k < victims then incr clamped_events;
         if tr_seams then
           Trace.emit tracer
             (Trace.Corruption
                {
                  round = !t;
                  phase = !phase_idx;
+                 requested = victims;
                  victims = List.sort Int.compare !hit;
                });
         Online.reset detector;
@@ -204,12 +380,9 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
       | _ -> ()
     in
     apply_events ();
-    let cur = !current in
-    (match probe with Some p -> p ~round:!t ~states:cur | None -> ());
-    let outs = Array.mapi (fun v s -> spec.Algo.Spec.output ~self:v s) cur in
-    (match trace with
-    | Some tr -> tr ~round:!t ~states:cur ~outputs:outs
-    | None -> ());
+    rep.probe_hook ~round:!t;
+    let outs = rep.outputs_row () in
+    rep.trace_hook ~round:!t ~outputs:outs;
     if tr_rounds then
       Trace.emit tracer (Trace.Round { round = !t; phase = !phase_idx });
     Online.observe detector ~round:!t outs;
@@ -224,37 +397,27 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
     end
     else if !t >= total then stop := true
     else begin
-      let crafted =
-        if Array.length !faulty = 0 then [||]
-        else
-          !crafter.Adversary.craft ~spec ~rng:adv_rng ~round:!t ~states:cur
-            ~faulty:!faulty
-      in
-      (* Per-recipient view: truth everywhere, overridden on faulty slots. *)
-      let next =
-        Array.init n (fun v ->
-            let received = Array.copy cur in
-            Array.iteri
-              (fun fi sender -> received.(sender) <- crafted.(fi).(v))
-              !faulty;
-            spec.Algo.Spec.transition ~self:v ~rng:node_rng.(v) received)
-      in
-      current := next;
+      rep.advance ~round:!t;
       incr t
     end
   done;
-  finish_phase ~end_round:(!t + 1);
+  (* Uniform with the phase-boundary convention: end_round is the round
+     at which the phase ended (= rounds_simulated for the final phase),
+     not one past it. *)
+  finish_phase ~end_round:!t;
   let messages_per_round = n * (n - 1) in
   let reports = List.rev !reports in
   (match metrics with
   | None -> ()
   | Some m ->
     Stdx.Metrics.incr m "engine.runs";
+    if flat_codec <> None then Stdx.Metrics.incr m "engine.flat_runs";
     Stdx.Metrics.incr ~by:!t m "engine.rounds";
     Stdx.Metrics.incr ~by:(!t * messages_per_round) m "engine.messages";
     if !early then Stdx.Metrics.incr m "engine.early_exits";
     Stdx.Metrics.incr ~by:!corruption_events m "engine.corruption_events";
     Stdx.Metrics.incr ~by:!corrupted_nodes m "engine.corrupted_nodes";
+    Stdx.Metrics.incr ~by:!clamped_events m "engine.clamped_events";
     List.iter
       (fun r ->
         match r.recovery with
@@ -269,7 +432,7 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
     rounds_simulated = !t;
     early_exit = !early;
     horizon = total;
-    final_states = !current;
+    final_states = rep.final_states ();
     recent_outputs = Online.recent detector;
     messages_per_round;
     bits_per_round = messages_per_round * spec.Algo.Spec.state_bits;

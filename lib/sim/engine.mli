@@ -7,6 +7,21 @@
     as soon as the clean counting suffix reaches [min_suffix] — typically
     cutting long-horizon sweeps by an order of magnitude.
 
+    {2 Flat fast path}
+
+    When the spec carries a {!Algo.Spec.codec} — every built-in family
+    does — the engine keeps the state vector as packed integer codes
+    (one byte per node for small state spaces, an unboxed int bigarray
+    otherwise) and advances rounds through the codec's kernel: counting
+    passes over int arrays, double-buffered, with no per-node allocation
+    in the steady state. The flat path is {e bit-identical} to the boxed
+    path — same RNG stream consumption, same verdicts, rounds, phase
+    reports, final states and trace events (certified by the
+    differential suite in [test_chaos.ml]). The boxed path remains for
+    specs without a codec and whenever a ['s]-typed [probe]/[trace] hook
+    is passed (those need real state vectors every round); to force it,
+    strip the codec: [{ spec with codec = None }].
+
     {2 Verdict equivalence}
 
     The RNG stream layout is byte-identical to {!Network.run} (which is
@@ -43,8 +58,12 @@ type phase_report = {
   faulty : int list;  (** validated, sorted faulty ids of this phase *)
   start_round : int;
   end_round : int;
-      (** output rows [start_round, end_round) were observed under this
-          phase; for the final phase, [end_round = rounds_simulated + 1] *)
+      (** the round at which the phase ended: [start_round + duration]
+          for phases that ran to their boundary, [rounds_simulated] for
+          the final phase (less than the boundary iff the run
+          early-exited). Output rows [start_round, end_round) were
+          observed under this phase — plus the boundary row itself for
+          the final phase. *)
   perturbations : int;
       (** perturbations absorbed: 1 for the phase entry itself (inherited
           arbitrary states) plus one per transient event in the phase *)

@@ -16,7 +16,12 @@ type event =
       faulty : int list;
     }
   | Round of { round : int; phase : int }
-  | Corruption of { round : int; phase : int; victims : int list }
+  | Corruption of {
+      round : int;
+      phase : int;
+      requested : int;
+      victims : int list;
+    }
   | Detector_reset of { round : int; phase : int }
   | Verdict of {
       round : int;
@@ -68,10 +73,11 @@ let to_json = function
       round phase (json_escape adversary) (ints faulty)
   | Round { round; phase } ->
     Printf.sprintf "{\"ev\":\"round\",\"round\":%d,\"phase\":%d}" round phase
-  | Corruption { round; phase; victims } ->
+  | Corruption { round; phase; requested; victims } ->
     Printf.sprintf
-      "{\"ev\":\"corruption\",\"round\":%d,\"phase\":%d,\"victims\":%s}" round
-      phase (ints victims)
+      "{\"ev\":\"corruption\",\"round\":%d,\"phase\":%d,\"requested\":%d,\
+       \"victims\":%s}"
+      round phase requested (ints victims)
   | Detector_reset { round; phase } ->
     Printf.sprintf "{\"ev\":\"detector-reset\",\"round\":%d,\"phase\":%d}"
       round phase
@@ -370,13 +376,17 @@ let of_json line =
              })
       | "round" -> Ok (Round { round = i "round"; phase = i "phase" })
       | "corruption" ->
-        Ok
-          (Corruption
-             {
-               round = i "round";
-               phase = i "phase";
-               victims = as_ints "victims" (field j "victims");
-             })
+        let victims = as_ints "victims" (field j "victims") in
+        (* Traces written before the clamp became visible carry no
+           "requested" field; those events were never clamped beyond what
+           the victims list shows. *)
+        let requested =
+          match j with
+          | Jobject kvs when List.mem_assoc "requested" kvs ->
+            as_int "requested" (List.assoc "requested" kvs)
+          | _ -> List.length victims
+        in
+        Ok (Corruption { round = i "round"; phase = i "phase"; requested; victims })
       | "detector-reset" ->
         Ok (Detector_reset { round = i "round"; phase = i "phase" })
       | "verdict" ->

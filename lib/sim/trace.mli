@@ -49,10 +49,16 @@ type event =
       faulty : int list;
     }
   | Round of { round : int; phase : int }
-  | Corruption of { round : int; phase : int; victims : int list }
-      (** transient event: [victims] are the corrupted node ids (may be
-          empty when the schedule asked for more victims than there are
-          correct nodes) *)
+  | Corruption of {
+      round : int;
+      phase : int;
+      requested : int;  (** victims the schedule asked for *)
+      victims : int list;
+    }
+      (** transient event: [victims] are the corrupted node ids; fewer
+          than [requested] (down to none) when the schedule asked for
+          more victims than there are correct nodes — such clamped
+          events also bump the [engine.clamped_events] metric *)
   | Detector_reset of { round : int; phase : int }
   | Verdict of {
       round : int;  (** the phase's [end_round] *)

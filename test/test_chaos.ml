@@ -298,7 +298,7 @@ let test_schedule_phase_reports () =
         (60 * i) r.Sim.Engine.start_round;
       check Alcotest.int
         (Printf.sprintf "phase %d end" i)
-        (if i = 2 then 181 else 60 * (i + 1))
+        (60 * (i + 1))
         r.Sim.Engine.end_round;
       check Alcotest.int
         (Printf.sprintf "phase %d perturbations" i)

@@ -1,0 +1,168 @@
+(* qcheck properties of the state codecs behind the flat engine path.
+
+   The Algo.Spec.codec contract promises a dense, order-preserving
+   bijection between the state set and [0, num_states): decoding inverts
+   encoding, every code is in range, the code order agrees with
+   compare_state, and (when the state set is enumerable) the codes of
+   all_states are exactly 0 .. num_states - 1. Checked for every family
+   that ships a codec — the trivial counters, the randomised 1-bit
+   counter, a synthesised/derived codec, and the boost towers A(4,1)
+   and A(12,3) from Theorem 1's recursion. *)
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+type family = F : string * 's Algo.Spec.t -> family
+
+(* Each family under test, with its spec. Boost towers exercise the
+   structural codec composition; [derived] exercises derive_codec's
+   all_states enumeration. *)
+let families () =
+  let a41 =
+    (Counting.Boost.construct
+       ~inner:(Counting.Trivial.single ~c:2304)
+       ~k:4 ~big_f:1 ~big_c:2)
+      .Counting.Boost.spec
+  in
+  let a12_3 =
+    (Counting.Boost.construct
+       ~inner:
+         (Counting.Boost.construct
+            ~inner:(Counting.Trivial.single ~c:2304)
+            ~k:4 ~big_f:1 ~big_c:960)
+           .Counting.Boost.spec
+       ~k:3 ~big_f:3 ~big_c:1728)
+      .Counting.Boost.spec
+  in
+  let leader = Counting.Trivial.follow_leader ~n:4 ~c:5 in
+  let derived =
+    Algo.Spec.with_derived_codec { leader with Algo.Spec.codec = None }
+  in
+  [
+    F ("trivial(c=16)", Counting.Trivial.single ~c:16);
+    F ("follow-leader(n=4,c=5)", leader);
+    F ("rand-counter(n=4,f=1)", Counting.Rand_counter.make ~n:4 ~f:1);
+    F ("derived(follow-leader)", derived);
+    F ("boost A(4,1)", a41);
+    F ("boost A(12,3)", a12_3);
+  ]
+
+let codec_of (spec : 's Algo.Spec.t) label : 's Algo.Spec.codec =
+  match spec.Algo.Spec.codec with
+  | Some c -> c
+  | None -> Alcotest.failf "%s: family has no codec" label
+
+(* States are sampled through the spec's own random_state, seeded from
+   the qcheck-generated integer — the only generic generator that works
+   for every state type, including the boost towers' nested records. *)
+let state_of (spec : 's Algo.Spec.t) seed =
+  spec.Algo.Spec.random_state (Stdx.Rng.create seed)
+
+let sign x = compare x 0
+
+let roundtrip_and_range (F (label, spec)) =
+  let codec = codec_of spec label in
+  qcheck
+    (Printf.sprintf "%s: decode (encode s) = s and code in range" label)
+    QCheck.small_nat
+    (fun seed ->
+      let s = state_of spec seed in
+      let code = codec.Algo.Spec.encode_state s in
+      code >= 0
+      && code < codec.Algo.Spec.num_states
+      && spec.Algo.Spec.equal_state s (codec.Algo.Spec.decode_state code))
+
+let order_agrees (F (label, spec)) =
+  let codec = codec_of spec label in
+  qcheck
+    (Printf.sprintf "%s: code order agrees with compare_state" label)
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let a = state_of spec s1 and b = state_of spec s2 in
+      sign
+        (compare
+           (codec.Algo.Spec.encode_state a)
+           (codec.Algo.Spec.encode_state b))
+      = sign (spec.Algo.Spec.compare_state a b))
+
+let output_agrees (F (label, spec)) =
+  let codec = codec_of spec label in
+  qcheck
+    (Printf.sprintf "%s: output_code agrees with output" label)
+    QCheck.(pair small_nat (int_range 0 100))
+    (fun (seed, self_raw) ->
+      let s = state_of spec seed in
+      let self = self_raw mod spec.Algo.Spec.n in
+      codec.Algo.Spec.output_code ~self (codec.Algo.Spec.encode_state s)
+      = spec.Algo.Spec.output ~self s)
+
+(* Density: with all_states available, the encodings are a permutation
+   of 0 .. num_states - 1 (deterministic, so a plain case). *)
+let density_cases =
+  List.filter_map
+    (fun (F (label, spec)) ->
+      match spec.Algo.Spec.all_states with
+      | None -> None
+      | Some states ->
+        Some
+          (case (Printf.sprintf "%s: codes dense in [0, num_states)" label)
+             (fun () ->
+               let codec = codec_of spec label in
+               check Alcotest.int (label ^ ": num_states = |all_states|")
+                 (List.length states) codec.Algo.Spec.num_states;
+               let codes =
+                 List.sort compare
+                   (List.map codec.Algo.Spec.encode_state states)
+               in
+               check
+                 (Alcotest.list Alcotest.int)
+                 (label ^ ": sorted codes are 0 .. num_states - 1")
+                 (List.init codec.Algo.Spec.num_states Fun.id)
+                 codes)))
+    (families ())
+
+(* A(12,3) has ~1.5e10 states per node: num_states must still be exact,
+   positive, and covered by state_bits (the codec composition refuses to
+   build — falls back to boxed — on overflow instead of wrapping). *)
+let test_big_tower_num_states () =
+  List.iter
+    (fun (F (label, spec)) ->
+      let codec = codec_of spec label in
+      check Alcotest.bool (label ^ ": num_states positive") true
+        (codec.Algo.Spec.num_states >= 1);
+      check Alcotest.bool
+        (label ^ ": state_bits covers num_states")
+        true
+        (spec.Algo.Spec.state_bits >= 63
+        || codec.Algo.Spec.num_states
+           <= 1 lsl spec.Algo.Spec.state_bits))
+    (families ())
+
+(* Every family must also pass the spec validator, which re-checks the
+   codec contract against all_states when present. *)
+let test_families_validate () =
+  List.iter
+    (fun (F (label, spec)) ->
+      match Algo.Spec.validate spec with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: validate failed: %s" label msg)
+    (families ())
+
+let suite =
+  [
+    ( "algo.codec",
+      List.concat
+        [
+          List.map roundtrip_and_range (families ());
+          List.map order_agrees (families ());
+          List.map output_agrees (families ());
+          density_cases;
+          [
+            case "num_states exact on big towers" test_big_tower_num_states;
+            case "families validate" test_families_validate;
+          ];
+        ] );
+  ]

@@ -677,6 +677,7 @@ let periodic_spec : int Algo.Spec.t =
     all_states = Some (List.init 8 Fun.id);
     transition = (fun ~self:_ ~rng:_ received -> (received.(0) + 1) mod 8);
     output = (fun ~self:_ s -> s);
+    codec = None;
   }
 
 let test_sweep_rejects_shorter_period () =

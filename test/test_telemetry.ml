@@ -185,8 +185,9 @@ let sample_events : Sim.Trace.event list =
     Sim.Trace.Phase_start
       { round = 0; phase = 0; adversary = "split-brain"; faulty = [ 0; 3 ] };
     Sim.Trace.Round { round = 17; phase = 1 };
-    Sim.Trace.Corruption { round = 12; phase = 0; victims = [] };
-    Sim.Trace.Corruption { round = 12; phase = 2; victims = [ 1; 2 ] };
+    Sim.Trace.Corruption { round = 12; phase = 0; requested = 3; victims = [] };
+    Sim.Trace.Corruption
+      { round = 12; phase = 2; requested = 2; victims = [ 1; 2 ] };
     Sim.Trace.Detector_reset { round = 12; phase = 0 };
     Sim.Trace.Verdict
       { round = 60; phase = 0; stabilized = Some 14; recovery = Some 2 };
