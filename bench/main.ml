@@ -6,7 +6,7 @@
 let experiments =
   [
     ("sweep", "Streaming engine: early exit vs full horizon", Bench_sweep.run);
-    ("parallel", "Multicore sweep executor: jobs=1 vs jobs=ncores", Bench_parallel.run);
+    ("parallel", "Cost-aware sweep scheduler: jobs ladder + claiming-policy duel", Bench_parallel.run);
     ("engine", "Flat-state engine: packed codes vs boxed states", Bench_engine.run);
     ("table1", "Table 1: the 2-counting algorithm landscape", Bench_table1.run);
     ("figure1", "Figure 1: leader pointers coincide", Bench_figures.figure1);

@@ -82,18 +82,40 @@ let adversary_of_name name =
     @ [ Sim.Adversary.greedy_confusion ~pool:2 () ])
 
 (* ------------------------------------------------------------------ *)
-(* Flags shared by the sweep-shaped subcommands (run, verify): horizon,
-   seeds, min-suffix, worker domains. Defaults that depend on the
-   subcommand (rounds, seeds) stay optional and are resolved there. *)
+(* Flags shared by the sweep-shaped subcommands (run, verify, chaos):
+   horizon, seeds, min-suffix, worker domains, claiming policy.
+   Defaults that depend on the subcommand (rounds, seeds) stay optional
+   and are resolved there. *)
 
 type sweep_opts = {
   rounds : int option;
   seeds : int list option;
   min_suffix : int option;
   jobs : int;
+  schedule : Stdx.Pool.schedule option;
+      (* None = the harness default (cost-sorted claiming) *)
   trace : string option;
   metrics : bool;
 }
+
+(* --schedule {inorder,cost,chunk:N}: "cost" maps to None — the
+   harness's own cost-sorted default, with its horizon x n^2 model —
+   so an explicit "cost" and an omitted flag mean the same policy. *)
+let parse_schedule s =
+  match s with
+  | "inorder" -> Ok (Some Stdx.Pool.In_order)
+  | "cost" -> Ok None
+  | _ -> (
+    match String.split_on_char ':' s with
+    | [ "chunk"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Ok (Some (Stdx.Pool.Chunked k))
+      | _ -> Error (`Msg "chunk size must be an int >= 1"))
+    | _ -> Error (`Msg "schedule must be inorder, cost or chunk:N"))
+
+let pp_schedule ppf = function
+  | None -> Format.fprintf ppf "cost"
+  | Some s -> Format.fprintf ppf "%s" (Stdx.Pool.schedule_name s)
 
 let sweep_flags =
   let rounds_arg =
@@ -145,6 +167,22 @@ let sweep_flags =
              (default: the machine's recommended domain count). Results \
              are identical at any J.")
   in
+  let schedule_arg =
+    let schedule_conv =
+      Arg.conv ~docv:"POLICY" (parse_schedule, pp_schedule)
+    in
+    Arg.(
+      value
+      & opt schedule_conv None
+      & info [ "schedule" ] ~docv:"POLICY"
+          ~doc:
+            "Claiming policy for the worker pool: $(b,inorder) (grid \
+             order), $(b,cost) (cost-sorted, the default: most \
+             expensive cells first under the horizon x n^2 model), or \
+             $(b,chunk:N) (N consecutive cells per claim). Outcomes \
+             are identical under every policy; only wall clock and \
+             load balance change.")
+  in
   let trace_arg =
     Arg.(
       value
@@ -164,10 +202,10 @@ let sweep_flags =
              them as a table after the run.")
   in
   Term.(
-    const (fun rounds seeds min_suffix jobs trace metrics ->
-        { rounds; seeds; min_suffix; jobs; trace; metrics })
-    $ rounds_arg $ seeds_arg $ min_suffix_arg $ jobs_arg $ trace_arg
-    $ metrics_arg)
+    const (fun rounds seeds min_suffix jobs schedule trace metrics ->
+        { rounds; seeds; min_suffix; jobs; schedule; trace; metrics })
+    $ rounds_arg $ seeds_arg $ min_suffix_arg $ jobs_arg $ schedule_arg
+    $ trace_arg $ metrics_arg)
 
 (* Telemetry plumbing shared by run/verify/chaos: a metrics registry
    when --metrics was given, a JSONL sink (prefixed with one [Meta]
@@ -265,7 +303,10 @@ let run_cmd =
         let want_metrics = metrics <> None in
         let instrumented = want_metrics || trace_level <> Sim.Trace.Off in
         let results =
-          Stdx.Pool.map ~jobs:opts.jobs
+          (* Seeds share one spec and horizon, so the cost-sorted
+             default degenerates to in-order claiming here; the policy
+             flag still selects chunked claiming if asked. *)
+          Stdx.Pool.map ~jobs:opts.jobs ?schedule:opts.schedule
             (fun seed ->
               let cell_m =
                 if want_metrics then Some (Stdx.Metrics.create ()) else None
@@ -389,6 +430,11 @@ let verify_cmd =
           let open Sim.Harness.Config in
           let c = default |> with_rounds rounds |> with_jobs opts.jobs in
           let c =
+            match opts.schedule with
+            | Some s -> with_schedule s c
+            | None -> c
+          in
+          let c =
             match opts.seeds with Some s -> with_seeds s c | None -> c
           in
           match opts.min_suffix with
@@ -491,6 +537,9 @@ let chaos_cmd =
             default |> with_campaigns campaigns |> with_phases phases
             |> with_events events |> with_max_victims max_victims
             |> with_phase_rounds phase_rounds |> with_jobs jobs
+          in
+          let c =
+            match opts.schedule with Some s -> with_schedule s c | None -> c
           in
           let c = match run_seeds with Some s -> with_seeds s c | None -> c in
           match min_suffix with Some m -> with_min_suffix m c | None -> c

@@ -6,11 +6,18 @@ dune build
 dune runtest
 
 # Re-run the pool, sweep, and telemetry suites with real concurrency
-# forced: the jobs-determinism tests read REPRO_JOBS, so this exercises
-# the multi-domain path even when the default jobs count is 1.
-REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.pool' -q
-REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness' -q
-REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.harness.chaos' -q
+# forced, once under each claiming policy: the jobs-determinism tests
+# read REPRO_JOBS (worker count) and REPRO_SCHEDULE (pinned policy), so
+# this exercises the multi-domain path and every claiming order even
+# when the default jobs count is 1.
+for schedule in inorder cost chunk:3; do
+  REPRO_JOBS=4 REPRO_SCHEDULE="$schedule" \
+    dune exec test/main.exe -- test 'stdx.pool' -q
+  REPRO_JOBS=4 REPRO_SCHEDULE="$schedule" \
+    dune exec test/main.exe -- test 'sim.harness' -q
+  REPRO_JOBS=4 REPRO_SCHEDULE="$schedule" \
+    dune exec test/main.exe -- test 'sim.harness.chaos' -q
+done
 REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.metrics' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.telemetry' -q
 
@@ -38,6 +45,11 @@ dune exec bench/main.exe -- chaos > /dev/null
 # Regenerate the flat-vs-boxed engine throughput record; the bench
 # itself exits non-zero if the two paths' outcomes ever differ.
 dune exec bench/main.exe -- engine > /dev/null
+
+# Regenerate the scheduler record: the jobs ladder and the
+# claiming-policy duel both exit non-zero if any configuration's
+# outcomes diverge from the sequential reference.
+dune exec bench/main.exe -- parallel > /dev/null
 
 # The bench logs must always be well-formed JSON (the at_exit flush is
 # crash-safe; a malformed file means that guarantee broke).

@@ -24,6 +24,7 @@ module Config = struct
     mode : Engine.mode;
     rounds : int;
     jobs : int;
+    schedule : Stdx.Pool.schedule option;
   }
 
   let default =
@@ -34,6 +35,7 @@ module Config = struct
       mode = Engine.Streaming;
       rounds = 4000;
       jobs = 1;
+      schedule = None;
     }
 
   let with_fault_sets fault_sets t = { t with fault_sets = Some fault_sets }
@@ -42,7 +44,32 @@ module Config = struct
   let with_mode mode t = { t with mode }
   let with_rounds rounds t = { t with rounds }
   let with_jobs jobs t = { t with jobs }
+  let with_schedule schedule t = { t with schedule = Some schedule }
 end
+
+(* The default cost model: a cell's work is proportional to its horizon
+   times n^2 (one all-to-all message round per simulated round). Within
+   a single sweep this is constant — LPT with equal costs claims in
+   index order — but heterogeneous grids (chaos campaigns with random
+   phase durations, bench grids mixing instances) get genuine
+   cost-sorted claiming from the same default. *)
+let default_cell_cost ~n horizon =
+  float_of_int horizon *. float_of_int n *. float_of_int n
+
+(* Per-worker busy seconds land in the caller's registry as the
+   [pool.worker_busy_s] histogram — the load-imbalance signal. Like the
+   cell wall-clock samples it is scheduling-dependent (sample count =
+   actual worker count), which is why it rides the Pool stats side
+   channel and not the deterministic per-cell sinks. *)
+let pool_stats_sink metrics =
+  Option.map
+    (fun m (s : Stdx.Pool.stats) ->
+      Array.iter
+        (fun b ->
+          Stdx.Metrics.observe ~buckets:Stdx.Metrics.time_buckets m
+            "pool.worker_busy_s" b)
+        s.Stdx.Pool.worker_busy_s)
+    metrics
 
 let spread_fault_set ~n ~f =
   if f = 0 then []
@@ -111,7 +138,9 @@ let merge_cells ?metrics ?trace ~wall_metric ~cells_metric ~label results =
 
 let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
     ~adversaries () =
-  let { Config.fault_sets; seeds; min_suffix; mode; rounds; jobs } = config in
+  let { Config.fault_sets; seeds; min_suffix; mode; rounds; jobs; schedule } =
+    config
+  in
   let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
   let fault_sets =
     match fault_sets with Some fs -> fs | None -> default_fault_sets ~n ~f
@@ -134,8 +163,14 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
   let trace_level = cell_trace_level trace in
   let want_metrics = metrics <> None in
   let instrumented = want_metrics || trace_level <> Trace.Off in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None -> Stdx.Pool.Cost_sorted (fun _ -> default_cell_cost ~n rounds)
+  in
   let results =
-    Stdx.Pool.run ~jobs (Array.length grid) (fun i ->
+    Stdx.Pool.exec ~jobs ~schedule ?stats:(pool_stats_sink metrics)
+      (Array.length grid) (fun i ->
         let adversary, faulty, seed = grid.(i) in
         let cell_m =
           if want_metrics then Some (Stdx.Metrics.create ()) else None
@@ -177,20 +212,6 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
   aggregate_of ~horizon:rounds
     (Array.to_list (Array.map (fun (o, _, _, _) -> o) results))
 
-let sweep ?fault_sets ?seeds ?min_suffix ?mode ?jobs ~spec ~adversaries
-    ~rounds () =
-  let config =
-    {
-      Config.fault_sets;
-      seeds = Option.value seeds ~default:Config.default.Config.seeds;
-      min_suffix;
-      mode = Option.value mode ~default:Config.default.Config.mode;
-      rounds;
-      jobs = Option.value jobs ~default:Config.default.Config.jobs;
-    }
-  in
-  run ~config ~spec ~adversaries ()
-
 module Chaos = struct
   module Config = struct
     type t = {
@@ -203,6 +224,7 @@ module Chaos = struct
       min_suffix : int option;
       mode : Engine.mode;
       jobs : int;
+      schedule : Stdx.Pool.schedule option;
     }
 
     let default =
@@ -216,6 +238,7 @@ module Chaos = struct
         min_suffix = None;
         mode = Engine.Streaming;
         jobs = 1;
+        schedule = None;
       }
 
     let with_campaigns campaigns t = { t with campaigns }
@@ -227,6 +250,7 @@ module Chaos = struct
     let with_min_suffix min_suffix t = { t with min_suffix = Some min_suffix }
     let with_mode mode t = { t with mode }
     let with_jobs jobs t = { t with jobs }
+    let with_schedule schedule t = { t with schedule = Some schedule }
   end
 
   type outcome = {
@@ -264,6 +288,7 @@ module Chaos = struct
       min_suffix;
       mode;
       jobs;
+      schedule;
     } =
       config
     in
@@ -302,8 +327,21 @@ module Chaos = struct
     let trace_level = cell_trace_level trace in
     let want_metrics = metrics <> None in
     let instrumented = want_metrics || trace_level <> Trace.Off in
+    let n = spec.Algo.Spec.n in
+    let pool_schedule =
+      match schedule with
+      | Some s -> s
+      | None ->
+        (* Campaigns draw random phase durations, so horizons — and
+           costs — genuinely differ per campaign here. *)
+        Stdx.Pool.Cost_sorted
+          (fun i ->
+            let _, sched, _ = schedules.(i / num_seeds) in
+            default_cell_cost ~n (Schedule.total_rounds sched))
+    in
     let results =
-      Stdx.Pool.run ~jobs (campaigns * num_seeds) (fun i ->
+      Stdx.Pool.exec ~jobs ~schedule:pool_schedule
+        ?stats:(pool_stats_sink metrics) (campaigns * num_seeds) (fun i ->
           let schedule_seed, schedule, min_suffix =
             schedules.(i / num_seeds)
           in

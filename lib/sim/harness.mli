@@ -5,12 +5,20 @@
     Sweeps run on the streaming {!Engine} and early-exit each run as soon
     as its verdict is decided (set [Config.mode] to [Engine.Full_horizon]
     to force full-horizon simulation; verdicts are identical — see
-    [engine.mli]). The grid is embarrassingly parallel: {!Config.t} has a
-    [jobs] field and the runs are distributed over a deterministic
-    {!Stdx.Pool}. Every run derives all of its randomness from its own
-    [(adversary, faulty, seed)] key, so [jobs = n] is outcome-for-outcome
-    identical to [jobs = 1] — same order, same verdicts, same
-    [rounds_simulated] (enforced by a test).
+    [engine.mli]). The grid is embarrassingly parallel: {!Config.t} has
+    [jobs] and [schedule] fields and the runs are distributed over a
+    deterministic {!Stdx.Pool}. Every run derives all of its randomness
+    from its own [(adversary, faulty, seed)] key, so any [jobs] count
+    under any claiming policy is outcome-for-outcome identical to
+    [jobs = 1] — same order, same verdicts, same [rounds_simulated]
+    (enforced by a test).
+
+    The default claiming policy is [Pool.Cost_sorted] with the harness
+    cost model — a cell costs its horizon times [n²]. Within one sweep
+    that cost is constant (LPT with equal costs claims in index order);
+    chaos campaigns and heterogeneous bench grids, whose horizons vary
+    per cell, get genuine longest-task-first claiming from the same
+    default. Override with {!Config.with_schedule}.
 
     {2 The [min_suffix] contract}
 
@@ -61,6 +69,12 @@ module Config : sig
     jobs : int;
         (** worker domains for the grid; default 1 (sequential). Any
             value yields identical outcomes — see {!Stdx.Pool}. *)
+    schedule : Stdx.Pool.schedule option;
+        (** claiming policy for the pool; [None] (the default) means
+            [Pool.Cost_sorted] under the harness cost model
+            (horizon × n² per cell). Any policy yields identical
+            outcomes — only wall clock and the [pool.worker_busy_s]
+            spread change. *)
   }
 
   val default : t
@@ -71,6 +85,7 @@ module Config : sig
   val with_mode : Engine.mode -> t -> t
   val with_rounds : int -> t -> t
   val with_jobs : int -> t -> t
+  val with_schedule : Stdx.Pool.schedule -> t -> t
 end
 
 val default_fault_sets : n:int -> f:int -> int list list
@@ -103,25 +118,12 @@ val run :
     private registry and buffer (at [trace]'s level), and after the pool
     finishes the cells are merged into [metrics] and replayed into
     [trace] in cell-index order, each stream bracketed by
-    [Cell_start]/[Cell_end] — so apart from wall-clock samples
-    ([harness.cell_wall_s]) the telemetry is identical at any [jobs]
-    count, and the sweep outcomes are bit-identical with telemetry on or
-    off. *)
-
-val sweep :
-  ?fault_sets:int list list ->
-  ?seeds:int list ->
-  ?min_suffix:int ->
-  ?mode:Engine.mode ->
-  ?jobs:int ->
-  spec:'s Algo.Spec.t ->
-  adversaries:'s Adversary.t list ->
-  rounds:int ->
-  unit ->
-  aggregate
-[@@deprecated "use Harness.run with a Harness.Config.t"]
-(** Thin wrapper over {!run} keeping the historical optional-argument
-    signature (plus [?jobs]). New code should build a {!Config.t}. *)
+    [Cell_start]/[Cell_end] — so apart from the scheduling-dependent
+    wall-clock instruments ([harness.cell_wall_s] and the per-worker
+    [pool.worker_busy_s] load histogram, whose sample count is the
+    actual worker count) the telemetry is identical at any [jobs] count
+    and under any claiming policy, and the sweep outcomes are
+    bit-identical with telemetry on or off. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit
 
@@ -152,6 +154,12 @@ module Chaos : sig
               against its own total horizon with {!Min_suffix.resolve} *)
       mode : Engine.mode;  (** default [Engine.Streaming] *)
       jobs : int;  (** worker domains; any value, identical outcomes *)
+      schedule : Stdx.Pool.schedule option;
+          (** claiming policy; [None] = [Pool.Cost_sorted] with each
+              campaign's own total horizon × n² as its cost — campaign
+              durations are random, so the default LPT ordering is
+              non-trivial here, unlike {!Harness.run}'s constant-cost
+              grids *)
     }
 
     val default : t
@@ -165,6 +173,7 @@ module Chaos : sig
     val with_min_suffix : int -> t -> t
     val with_mode : Engine.mode -> t -> t
     val with_jobs : int -> t -> t
+    val with_schedule : Stdx.Pool.schedule -> t -> t
   end
 
   type outcome = {

@@ -11,7 +11,7 @@ type 's run = {
 
 (* Thin wrapper over the streaming engine: materialise the full trace via
    the engine's [trace] hook. Probes, figures and the model checker need
-   the whole history; sweeps should use [Engine.run] (or [Harness.sweep])
+   the whole history; sweeps should use [Engine.run] (or [Harness.run])
    directly and early-exit instead. *)
 let run ?probe ?init ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t)
     ~faulty ~rounds ~seed () =

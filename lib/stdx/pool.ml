@@ -1,47 +1,111 @@
-(* Work-stealing-free domain pool: an index queue guarded by a mutex and
-   a pre-sized result array make the output independent of scheduling. *)
+(* Work-stealing-free domain pool: a claim-order array behind a mutex
+   plus a pre-sized result array make the output independent of both the
+   worker count and the scheduling policy — policies permute only the
+   order in which indices are handed out, never where results land. *)
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-let sequential n f =
-  if n = 0 then [||]
-  else begin
-    let out = Array.make n (f 0) in
-    for i = 1 to n - 1 do
-      out.(i) <- f i
-    done;
-    out
-  end
+type schedule =
+  | In_order
+  | Cost_sorted of (int -> float)
+  | Chunked of int
 
-let parallel ~jobs n f =
+let schedule_name = function
+  | In_order -> "inorder"
+  | Cost_sorted _ -> "cost"
+  | Chunked k -> Printf.sprintf "chunk:%d" k
+
+type stats = {
+  actual_jobs : int;
+  policy : string;
+  worker_busy_s : float array;
+  worker_tasks : int array;
+}
+
+(* The claim order: a permutation of [0, n) that workers consume from a
+   shared cursor. [Cost_sorted] is LPT — decreasing estimated cost, ties
+   broken by lower index, so a constant cost function reproduces
+   [In_order] exactly (the sort below is total and deterministic). *)
+let claim_order ~schedule n =
+  match schedule with
+  | In_order | Chunked _ -> Array.init n (fun i -> i)
+  | Cost_sorted cost ->
+    let costs =
+      Array.init n (fun i ->
+          let c = cost i in
+          if not (Float.is_finite c) then
+            invalid_arg "Pool.exec: Cost_sorted cost must be finite";
+          c)
+    in
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        match Float.compare costs.(b) costs.(a) with
+        | 0 -> Int.compare a b
+        | r -> r)
+      order;
+    order
+
+let exec ?(jobs = 1) ?(schedule = In_order) ?stats n f =
+  if n < 0 then invalid_arg "Pool.exec: negative task count";
+  if jobs < 1 then invalid_arg "Pool.exec: jobs must be >= 1";
+  (match schedule with
+  | Chunked k when k < 1 -> invalid_arg "Pool.exec: chunk size must be >= 1"
+  | _ -> ());
+  let jobs = min jobs (max 1 n) in
+  let order = claim_order ~schedule n in
+  let chunk = match schedule with Chunked k -> k | _ -> 1 in
   (* Result and failure slots are pre-sized; slot [i] is written only by
      the worker that claimed index [i], so distinct slots never race. *)
   let results = Array.make n None in
   let failures = Array.make n None in
   let lock = Mutex.create () in
   let next = ref 0 in
+  (* Claim [chunk] positions of the order array at once; returns the
+     half-open position range. *)
   let claim () =
     Mutex.lock lock;
-    let i = !next in
-    if i < n then incr next;
+    let lo = !next in
+    let hi = min n (lo + chunk) in
+    next := hi;
     Mutex.unlock lock;
-    if i < n then Some i else None
+    if lo < hi then Some (lo, hi) else None
   in
-  let rec worker () =
+  let timing = stats <> None in
+  let busy = Array.make jobs 0.0 in
+  let tasks = Array.make jobs 0 in
+  let rec worker w =
     match claim () with
     | None -> ()
-    | Some i ->
-      (match f i with
-      | v -> results.(i) <- Some v
-      | exception e ->
-        let bt = Printexc.get_raw_backtrace () in
-        failures.(i) <- Some (e, bt));
-      worker ()
+    | Some (lo, hi) ->
+      for pos = lo to hi - 1 do
+        let i = order.(pos) in
+        let t0 = if timing then Unix.gettimeofday () else 0.0 in
+        (match f i with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          failures.(i) <- Some (e, bt));
+        if timing then busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0);
+        tasks.(w) <- tasks.(w) + 1
+      done;
+      worker w
   in
-  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let spawned = Array.init (jobs - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
+  worker 0;
   Array.iter Domain.join spawned;
-  (* Deterministic error propagation: the lowest failing index wins. *)
+  (match stats with
+  | Some k ->
+    k
+      {
+        actual_jobs = jobs;
+        policy = schedule_name schedule;
+        worker_busy_s = busy;
+        worker_tasks = tasks;
+      }
+  | None -> ());
+  (* Deterministic error propagation: the lowest failing task index
+     wins, whatever order the policy executed the tasks in. *)
   Array.iter
     (function
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -49,12 +113,10 @@ let parallel ~jobs n f =
     failures;
   Array.map (function Some v -> v | None -> assert false) results
 
-let run ?(jobs = 1) n f =
-  if n < 0 then invalid_arg "Pool.run: negative task count";
-  if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
-  let jobs = min jobs (max 1 n) in
-  if jobs = 1 then sequential n f else parallel ~jobs n f
+let run ?jobs ?schedule n f = exec ?jobs ?schedule n f
 
-let map_array ?jobs f a = run ?jobs (Array.length a) (fun i -> f a.(i))
+let map_array ?jobs ?schedule f a =
+  exec ?jobs ?schedule (Array.length a) (fun i -> f a.(i))
 
-let map ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))
+let map ?jobs ?schedule f l =
+  Array.to_list (map_array ?jobs ?schedule f (Array.of_list l))

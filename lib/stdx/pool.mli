@@ -1,4 +1,5 @@
-(** Deterministic domain pool for embarrassingly parallel task grids.
+(** Deterministic domain pool for embarrassingly parallel task grids,
+    with pluggable cost-aware claiming.
 
     Every sweep in this repository is a grid of independent runs, each
     fully keyed by its own inputs (an [(adversary, faulty, seed)] triple,
@@ -6,35 +7,93 @@
     [Domain]s with a guarantee the benches and tests lean on:
 
     {b the result is independent of scheduling.} Tasks are identified by
-    their index in the grid; workers claim the next unclaimed index from
-    a [Mutex]-guarded queue (no work stealing, no reordering of results)
-    and write the result into a pre-sized slot array at that index. Since
+    their index in the grid; workers claim unclaimed indices from a
+    [Mutex]-guarded shared cursor (no work stealing) and write each
+    result into a pre-sized slot array at the task's own index. The
+    {!schedule} policy only changes the {e claim order} — which task a
+    free worker picks up next — never the placement of results. Since
     each task derives all of its randomness from its own inputs (see
     {!Rng}: every simulation seeds a fresh SplitMix64 stream), the slot
     contents — and therefore the returned array — are byte-identical at
-    any [jobs] count, including [jobs = 1].
+    any [jobs] count and under any policy, including [jobs = 1].
 
     Exceptions raised by tasks are caught per-slot; after all workers
-    have drained the queue, the exception of the {e lowest} failing index
-    is re-raised (again independent of scheduling). *)
+    have drained the queue, the exception of the {e lowest} failing task
+    index is re-raised — again independent of scheduling and of the
+    claim order (a [Cost_sorted] pool may {e execute} a high index
+    first, but the low index still wins propagation). *)
+
+type schedule =
+  | In_order  (** claim indices [0, 1, 2, …] — the historical order *)
+  | Cost_sorted of (int -> float)
+      (** LPT (longest-processing-time-first) claiming: [Cost_sorted c]
+          evaluates [c i] once per task up front and hands out indices
+          by decreasing estimated cost, ties broken by lower index. With
+          uneven grids this keeps the expensive tasks from landing on a
+          straggler at the tail. Costs must be finite
+          ([Invalid_argument] otherwise); a constant cost function
+          degrades exactly to {!In_order}. *)
+  | Chunked of int
+      (** [Chunked k] claims [k] consecutive indices per mutex
+          acquisition (in index order) — lower claiming overhead for
+          grids of many tiny tasks. [k < 1] raises [Invalid_argument];
+          [Chunked 1] is {!In_order}. *)
+
+val schedule_name : schedule -> string
+(** ["inorder"], ["cost"] or ["chunk:N"] — for logs and reports. *)
+
+type stats = {
+  actual_jobs : int;  (** worker count after clamping to the task count *)
+  policy : string;  (** {!schedule_name} of the policy that ran *)
+  worker_busy_s : float array;
+      (** per-worker sum of task wall-clock seconds, length
+          [actual_jobs]; slot 0 is the calling domain. The spread of
+          this array is the load-imbalance signal: max/mean near 1 means
+          the claim order kept every worker busy until the end. *)
+  worker_tasks : int array;  (** per-worker claimed task count *)
+}
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the sensible default for
     CPU-bound grids. *)
 
-val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
-(** [run ~jobs n f] computes [[| f 0; …; f (n-1) |]] on up to [jobs]
-    domains (the calling domain participates, so [jobs = 2] spawns one
-    extra domain). [jobs] defaults to [1], which runs sequentially in
-    index order on the calling domain — no domains are spawned. [jobs]
-    is clamped to [n]; [jobs < 1] or [n < 0] raise [Invalid_argument].
+val exec :
+  ?jobs:int ->
+  ?schedule:schedule ->
+  ?stats:(stats -> unit) ->
+  int ->
+  (int -> 'a) ->
+  'a array
+(** [exec ~jobs ~schedule n f] computes [[| f 0; …; f (n-1) |]] on up to
+    [jobs] domains (the calling domain participates, so [jobs = 2]
+    spawns one extra domain). [jobs] defaults to [1] — no domains are
+    spawned and the tasks run on the calling domain, still in the
+    policy's claim order. [jobs] is clamped to [n]; [jobs < 1] or
+    [n < 0] raise [Invalid_argument].
+
+    [schedule] (default {!In_order}) fixes the claim order only; see the
+    module docstring for the determinism guarantee. [stats] is invoked
+    exactly once, after every worker has drained the queue and before
+    any task failure is re-raised, with the per-worker busy-time and
+    task-count breakdown of this execution — wall-clock values are the
+    one scheduling-dependent output, which is why they travel through
+    this side channel rather than the result array.
 
     [f] must not rely on shared mutable state: task order within the
-    grid is unspecified for [jobs > 1] (only the {e placement} of
+    grid is policy- and scheduling-dependent (only the {e placement} of
     results is fixed). *)
 
-val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map_array ~jobs f a] is [Array.map f a], parallelised as {!run}. *)
+(** {2 Aliases}
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~jobs f l] is [List.map f l], parallelised as {!run}. *)
+    The historical entry points. Each is a thin wrapper over {!exec} —
+    one claiming implementation, three spellings. *)
+
+val run : ?jobs:int -> ?schedule:schedule -> int -> (int -> 'a) -> 'a array
+(** [run ?jobs ?schedule n f] is [exec ?jobs ?schedule n f]. *)
+
+val map_array :
+  ?jobs:int -> ?schedule:schedule -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f a] is [Array.map f a], parallelised as {!exec}. *)
+
+val map : ?jobs:int -> ?schedule:schedule -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f l] is [List.map f l], parallelised as {!exec}. *)

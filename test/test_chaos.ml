@@ -471,19 +471,38 @@ let test_chaos_recovers_and_aggregates () =
     agg.outcomes
 
 (* ISSUE acceptance: chaos campaigns are reproducible from their seed at
-   any jobs count. *)
+   any jobs count under any claiming policy. Campaign horizons are
+   random, so the default Cost_sorted schedule does genuine LPT
+   reordering here — the aggregates must not notice. *)
 let test_chaos_jobs_determinism () =
-  let at jobs =
-    Sim.Harness.Chaos.run
-      ~config:(chaos_config ~jobs ())
+  let at ?schedule jobs =
+    let config = chaos_config ~jobs () in
+    let config =
+      match schedule with
+      | None -> config
+      | Some s -> Sim.Harness.Chaos.Config.with_schedule s config
+    in
+    Sim.Harness.Chaos.run ~config
       ~spec:(Counting.Rand_counter.make ~n:4 ~f:1)
       ~adversaries:(Sim.Adversary.standard_suite ())
       ()
   in
-  check Alcotest.bool
-    (Printf.sprintf "aggregates identical at jobs=1 and jobs=%d" parallel_jobs)
-    true
-    (at 1 = at parallel_jobs)
+  let seq = at ~schedule:Stdx.Pool.In_order 1 in
+  List.iter
+    (fun (label, schedule) ->
+      List.iter
+        (fun jobs ->
+          check Alcotest.bool
+            (Printf.sprintf "aggregates identical at jobs=%d policy=%s" jobs
+               label)
+            true
+            (at ?schedule jobs = seq))
+        [ 1; 2; parallel_jobs ])
+    [
+      ("inorder", Some Stdx.Pool.In_order);
+      ("cost(default)", None);
+      ("chunk:3", Some (Stdx.Pool.Chunked 3));
+    ]
 
 let test_chaos_rejects_bad_config () =
   let boom config =

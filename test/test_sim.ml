@@ -724,11 +724,14 @@ let test_sweep_rejects_shorter_period () =
 
 (* ------------------------------------------------------------------ *)
 (* Parallel determinism: the Stdx.Pool contract says a sweep at any
-   jobs count is outcome-for-outcome identical to jobs = 1 — same
-   order, same verdicts, same rounds_simulated. Exercised on a
-   deterministic spec, a randomised one (coin flips are seeded per run
-   inside Engine.run, so scheduling cannot perturb them), and a boosted
-   tower. REPRO_JOBS lets CI force real concurrency. *)
+   jobs count under any claiming policy is outcome-for-outcome
+   identical to jobs = 1 — same order, same verdicts, same
+   rounds_simulated. Exercised on a deterministic spec, a randomised
+   one (coin flips are seeded per run inside Engine.run, so scheduling
+   cannot perturb them), and a boosted tower. REPRO_JOBS forces a
+   specific worker count; REPRO_SCHEDULE pins one claiming policy
+   (inorder | cost | chunk:N — the countctl spellings), otherwise all
+   three are exercised. *)
 
 let parallel_jobs =
   match Sys.getenv_opt "REPRO_JOBS" with
@@ -737,18 +740,53 @@ let parallel_jobs =
     | _ -> 8)
   | None -> 8
 
-let check_jobs_invariant ~name ~config ~spec ~adversaries =
-  let at jobs =
-    Sim.Harness.run
-      ~config:(Sim.Harness.Config.with_jobs jobs config)
-      ~spec ~adversaries ()
+(* [None] = the harness default (Cost_sorted under the horizon x n^2
+   model); [Some _] overrides via [Config.with_schedule]. *)
+let parallel_schedules =
+  let all = [ Some Stdx.Pool.In_order; None; Some (Stdx.Pool.Chunked 3) ] in
+  match Sys.getenv_opt "REPRO_SCHEDULE" with
+  | None -> all
+  | Some s -> (
+    match String.trim s with
+    | "inorder" -> [ Some Stdx.Pool.In_order ]
+    | "cost" -> [ None ]
+    | s -> (
+      match String.split_on_char ':' s with
+      | [ "chunk"; k ] -> (
+        match int_of_string_opt k with
+        | Some k when k >= 1 -> [ Some (Stdx.Pool.Chunked k) ]
+        | _ -> all)
+      | _ -> all))
+
+let schedule_label = function
+  | None -> "cost(default)"
+  | Some s -> Stdx.Pool.schedule_name s
+
+let default_jobs_ladder = List.sort_uniq compare [ 2; 4; 8; parallel_jobs ]
+
+let check_jobs_invariant ?(jobs_ladder = default_jobs_ladder) ~name ~config
+    ~spec ~adversaries () =
+  let at ~jobs ~schedule =
+    let config = Sim.Harness.Config.with_jobs jobs config in
+    let config =
+      match schedule with
+      | None -> config
+      | Some s -> Sim.Harness.Config.with_schedule s config
+    in
+    Sim.Harness.run ~config ~spec ~adversaries ()
   in
-  let seq = at 1 and par = at parallel_jobs in
-  check Alcotest.bool
-    (Printf.sprintf "%s: outcomes identical at jobs=1 and jobs=%d" name
-       parallel_jobs)
-    true
-    (seq = par)
+  let seq = at ~jobs:1 ~schedule:(Some Stdx.Pool.In_order) in
+  List.iter
+    (fun schedule ->
+      List.iter
+        (fun jobs ->
+          check Alcotest.bool
+            (Printf.sprintf "%s: outcomes identical at jobs=%d policy=%s"
+               name jobs (schedule_label schedule))
+            true
+            (at ~jobs ~schedule = seq))
+        (1 :: jobs_ladder))
+    parallel_schedules
 
 let test_parallel_matches_sequential_trivial () =
   check_jobs_invariant ~name:"follow-leader"
@@ -757,6 +795,7 @@ let test_parallel_matches_sequential_trivial () =
         default |> with_seeds [ 1; 2; 3 ] |> with_rounds 60)
     ~spec:(Counting.Trivial.follow_leader ~n:4 ~c:3)
     ~adversaries:(Sim.Adversary.standard_suite ())
+    ()
 
 let test_parallel_matches_sequential_randomised () =
   check_jobs_invariant ~name:"rand-counter"
@@ -765,6 +804,7 @@ let test_parallel_matches_sequential_randomised () =
         default |> with_seeds [ 1; 2; 3; 4 ] |> with_rounds 600)
     ~spec:(Counting.Rand_counter.make ~n:4 ~f:1)
     ~adversaries:[ Sim.Adversary.benign (); Sim.Adversary.random_equivocate () ]
+    ()
 
 let test_parallel_matches_sequential_boosted () =
   let boosted =
@@ -772,6 +812,7 @@ let test_parallel_matches_sequential_boosted () =
       ~big_f:1 ~big_c:2
   in
   check_jobs_invariant ~name:"boosted A(4,1)"
+    ~jobs_ladder:[ parallel_jobs ]
     ~config:
       Sim.Harness.Config.(
         default
@@ -779,22 +820,7 @@ let test_parallel_matches_sequential_boosted () =
         |> with_seeds [ 1; 2 ] |> with_rounds 1500)
     ~spec:boosted.Counting.Boost.spec
     ~adversaries:[ Sim.Adversary.split_brain (); Sim.Adversary.stuck () ]
-
-(* The deprecated [sweep] wrapper must agree with the Config-based
-   entry point it wraps. *)
-let test_legacy_sweep_wrapper () =
-  let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
-  let adversaries = [ Sim.Adversary.benign () ] in
-  let legacy =
-    (Sim.Harness.sweep [@alert "-deprecated"])
-      ~spec ~adversaries ~seeds:[ 1; 2 ] ~rounds:30 ()
-  in
-  let config =
-    Sim.Harness.Config.(default |> with_seeds [ 1; 2 ] |> with_rounds 30)
-  in
-  let fresh = Sim.Harness.run ~config ~spec ~adversaries () in
-  check Alcotest.bool "wrapper and Config entry point agree" true
-    (legacy = fresh)
+    ()
 
 let test_sweep_streaming_saves_rounds () =
   let spec = Counting.Trivial.follow_leader ~n:4 ~c:3 in
@@ -880,6 +906,5 @@ let suite =
           test_parallel_matches_sequential_randomised;
         case "jobs determinism: boosted tower"
           test_parallel_matches_sequential_boosted;
-        case "legacy sweep wrapper agrees" test_legacy_sweep_wrapper;
       ] );
   ]

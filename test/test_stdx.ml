@@ -275,7 +275,14 @@ let test_pool_invalid_args () =
   in
   raises "jobs = 0 rejected" (fun () -> Stdx.Pool.run ~jobs:0 3 (fun i -> i));
   raises "negative n rejected" (fun () ->
-      Stdx.Pool.run ~jobs:2 (-1) (fun i -> i))
+      Stdx.Pool.run ~jobs:2 (-1) (fun i -> i));
+  raises "chunk size 0 rejected" (fun () ->
+      Stdx.Pool.exec ~jobs:2 ~schedule:(Stdx.Pool.Chunked 0) 3 (fun i -> i));
+  raises "non-finite cost rejected" (fun () ->
+      Stdx.Pool.exec
+        ~schedule:(Stdx.Pool.Cost_sorted (fun _ -> Float.nan))
+        3
+        (fun i -> i))
 
 let test_pool_propagates_lowest_failure () =
   (* Several tasks fail; the pool must deterministically re-raise the
@@ -290,6 +297,117 @@ let test_pool_propagates_lowest_failure () =
   in
   check (Alcotest.option Alcotest.int) "lowest failing index wins" (Some 2)
     observed
+
+(* A representative policy zoo: the pseudo-random cost has ties (so the
+   index tie-break is exercised), the reversed cost claims the highest
+   index first, and the constant cost must degrade to in-order. *)
+let pool_schedules =
+  [
+    Stdx.Pool.In_order;
+    Stdx.Pool.Cost_sorted (fun i -> float_of_int ((i * 2654435761) land 0xff));
+    Stdx.Pool.Cost_sorted float_of_int;
+    Stdx.Pool.Cost_sorted (fun _ -> 1.0);
+    Stdx.Pool.Chunked 3;
+  ]
+
+let test_pool_exec_policy_invariant =
+  qcheck "Pool.exec = sequential under every policy and jobs count"
+    QCheck.(
+      quad (list small_int) (int_range 1 8) (int_range 0 4) (int_range 1 5))
+    (fun (xs, jobs, tag, k) ->
+      let a = Array.of_list xs in
+      let n = Array.length a in
+      let schedule =
+        if tag = 4 then Stdx.Pool.Chunked k else List.nth pool_schedules tag
+      in
+      Stdx.Pool.exec ~jobs ~schedule n (fun i -> (a.(i) * 7) - i)
+      = Array.init n (fun i -> (a.(i) * 7) - i))
+
+let test_pool_policy_error_propagation () =
+  (* The reversed-cost policy executes index 15 first and hits Boom 12
+     chronologically before Boom 2 — the pool must still re-raise
+     Boom 2, the lowest failing index. *)
+  List.iter
+    (fun schedule ->
+      let observed =
+        try
+          ignore
+            (Stdx.Pool.exec ~jobs:4 ~schedule 16 (fun i ->
+                 if i mod 5 = 2 then raise (Boom i) else i));
+          None
+        with Boom i -> Some i
+      in
+      check
+        (Alcotest.option Alcotest.int)
+        (Stdx.Pool.schedule_name schedule ^ ": lowest failing index wins")
+        (Some 2) observed)
+    pool_schedules
+
+let test_pool_stats () =
+  let seen = ref None in
+  let a =
+    Stdx.Pool.exec ~jobs:3
+      ~schedule:(Stdx.Pool.Chunked 2)
+      ~stats:(fun s -> seen := Some s)
+      10
+      (fun i -> i)
+  in
+  check (Alcotest.array Alcotest.int) "results unaffected by stats"
+    (Array.init 10 Fun.id) a;
+  (match !seen with
+  | None -> Alcotest.fail "stats callback not invoked"
+  | Some s ->
+    check Alcotest.int "actual jobs" 3 s.Stdx.Pool.actual_jobs;
+    check Alcotest.string "policy name" "chunk:2" s.Stdx.Pool.policy;
+    check Alcotest.int "one busy slot per worker" 3
+      (Array.length s.Stdx.Pool.worker_busy_s);
+    check Alcotest.int "every task claimed exactly once" 10
+      (Array.fold_left ( + ) 0 s.Stdx.Pool.worker_tasks);
+    check Alcotest.bool "busy seconds non-negative" true
+      (Array.for_all (fun b -> b >= 0.0) s.Stdx.Pool.worker_busy_s));
+  (* jobs are clamped to the task count, and the stats say so *)
+  let clamped = ref None in
+  ignore
+    (Stdx.Pool.exec ~jobs:8 ~stats:(fun s -> clamped := Some s) 2 (fun i -> i));
+  (match !clamped with
+  | None -> Alcotest.fail "stats callback not invoked"
+  | Some s -> check Alcotest.int "jobs clamped to n" 2 s.Stdx.Pool.actual_jobs);
+  (* the callback still fires when a task fails — before the re-raise *)
+  let failed = ref None in
+  (try
+     ignore
+       (Stdx.Pool.exec ~jobs:2
+          ~stats:(fun s -> failed := Some s)
+          4
+          (fun i -> if i = 1 then raise (Boom i) else i))
+   with Boom _ -> ());
+  match !failed with
+  | None -> Alcotest.fail "stats callback skipped on failure"
+  | Some s ->
+    check Alcotest.int "failing grid fully drained" 4
+      (Array.fold_left ( + ) 0 s.Stdx.Pool.worker_tasks)
+
+let test_pool_schedule_names () =
+  check Alcotest.string "inorder" "inorder"
+    (Stdx.Pool.schedule_name Stdx.Pool.In_order);
+  check Alcotest.string "cost" "cost"
+    (Stdx.Pool.schedule_name (Stdx.Pool.Cost_sorted float_of_int));
+  check Alcotest.string "chunk" "chunk:7"
+    (Stdx.Pool.schedule_name (Stdx.Pool.Chunked 7))
+
+let test_pool_aliases_carry_schedule () =
+  check
+    (Alcotest.list Alcotest.int)
+    "map under chunked"
+    [ 2; 4; 6 ]
+    (Stdx.Pool.map ~jobs:2 ~schedule:(Stdx.Pool.Chunked 2) (fun x -> 2 * x)
+       [ 1; 2; 3 ]);
+  check (Alcotest.array Alcotest.int) "map_array under cost-sorted"
+    [| 1; 2; 0; 4 |]
+    (Stdx.Pool.map_array ~jobs:3
+       ~schedule:(Stdx.Pool.Cost_sorted (fun i -> float_of_int (10 - i)))
+       String.length
+       [| "a"; "bb"; ""; "cccc" |])
 
 (* ------------------------------------------------------------------ *)
 (* Table                                                                *)
@@ -380,6 +498,12 @@ let suite =
         case "empty and oversubscribed" test_pool_empty_and_oversubscribed;
         case "invalid arguments" test_pool_invalid_args;
         case "lowest failing index re-raised" test_pool_propagates_lowest_failure;
+        test_pool_exec_policy_invariant;
+        case "lowest failure wins under every policy"
+          test_pool_policy_error_propagation;
+        case "stats report the execution" test_pool_stats;
+        case "schedule names" test_pool_schedule_names;
+        case "aliases carry the schedule" test_pool_aliases_carry_schedule;
       ] );
     ( "stdx.table",
       [

@@ -440,12 +440,16 @@ let test_chaos_differential () =
     (plain
     = go ~metrics:(Stdx.Metrics.create ()) ~trace:(Sim.Trace.memory ()) 1)
 
-(* Wall-clock samples are the one nondeterministic instrument; the jobs
-   determinism guarantee covers everything else. *)
+(* Wall-clock samples ([*.wall_s] plus the per-worker
+   [pool.worker_busy_s] load histogram, whose sample count is the
+   worker count) are the only scheduling-dependent instruments; the
+   jobs determinism guarantee covers everything else. *)
 let drop_wall snap =
   List.filter
     (fun (name, _) ->
-      not (Astring.String.is_infix ~affix:"wall_s" name))
+      not
+        (Astring.String.is_infix ~affix:"wall_s" name
+        || Astring.String.is_infix ~affix:"busy_s" name))
     snap
 
 let normalise_wall =
@@ -455,47 +459,74 @@ let normalise_wall =
         Sim.Trace.Cell_end { cell; wall_s = 0.0 }
       | ev -> ev)
 
+(* [None] = the harness default policy (Cost_sorted); [Some _]
+   overrides. Telemetry must be identical under all of them. *)
+let telemetry_schedules =
+  [
+    ("inorder", Some Stdx.Pool.In_order);
+    ("cost(default)", None);
+    ("chunk:3", Some (Stdx.Pool.Chunked 3));
+  ]
+
 let test_harness_telemetry_jobs_determinism () =
-  let at jobs =
+  let at ?schedule jobs =
     let m = Stdx.Metrics.create () in
     let tr = Sim.Trace.memory () in
+    let config = harness_config ~jobs in
+    let config =
+      match schedule with
+      | None -> config
+      | Some s -> Sim.Harness.Config.with_schedule s config
+    in
     ignore
-      (Sim.Harness.run ~metrics:m ~trace:tr
-         ~config:(harness_config ~jobs)
-         ~spec:leader
+      (Sim.Harness.run ~metrics:m ~trace:tr ~config ~spec:leader
          ~adversaries:(Sim.Adversary.standard_suite ())
          ());
     (drop_wall (Stdx.Metrics.snapshot m), normalise_wall (Sim.Trace.events tr))
   in
-  let m1, t1 = at 1 in
-  let mn, tn = at parallel_jobs in
-  check Alcotest.bool
-    (Printf.sprintf "metrics identical at jobs=1 and jobs=%d" parallel_jobs)
-    true (m1 = mn);
-  check Alcotest.bool
-    (Printf.sprintf "trace identical at jobs=1 and jobs=%d" parallel_jobs)
-    true (t1 = tn)
+  let m1, t1 = at ~schedule:Stdx.Pool.In_order 1 in
+  List.iter
+    (fun (label, schedule) ->
+      let mn, tn = at ?schedule parallel_jobs in
+      check Alcotest.bool
+        (Printf.sprintf "metrics identical at jobs=%d policy=%s" parallel_jobs
+           label)
+        true (m1 = mn);
+      check Alcotest.bool
+        (Printf.sprintf "trace identical at jobs=%d policy=%s" parallel_jobs
+           label)
+        true (t1 = tn))
+    telemetry_schedules
 
 let test_chaos_telemetry_jobs_determinism () =
-  let at jobs =
+  let at ?schedule jobs =
     let m = Stdx.Metrics.create () in
     let tr = Sim.Trace.memory () in
+    let config = chaos_config ~jobs in
+    let config =
+      match schedule with
+      | None -> config
+      | Some s -> Sim.Harness.Chaos.Config.with_schedule s config
+    in
     ignore
-      (Sim.Harness.Chaos.run ~metrics:m ~trace:tr
-         ~config:(chaos_config ~jobs)
-         ~spec:leader
+      (Sim.Harness.Chaos.run ~metrics:m ~trace:tr ~config ~spec:leader
          ~adversaries:(Sim.Adversary.standard_suite ())
          ());
     (drop_wall (Stdx.Metrics.snapshot m), normalise_wall (Sim.Trace.events tr))
   in
-  let m1, t1 = at 1 in
-  let mn, tn = at parallel_jobs in
-  check Alcotest.bool
-    (Printf.sprintf "metrics identical at jobs=1 and jobs=%d" parallel_jobs)
-    true (m1 = mn);
-  check Alcotest.bool
-    (Printf.sprintf "trace identical at jobs=1 and jobs=%d" parallel_jobs)
-    true (t1 = tn);
+  let m1, t1 = at ~schedule:Stdx.Pool.In_order 1 in
+  List.iter
+    (fun (label, schedule) ->
+      let mn, tn = at ?schedule parallel_jobs in
+      check Alcotest.bool
+        (Printf.sprintf "metrics identical at jobs=%d policy=%s" parallel_jobs
+           label)
+        true (m1 = mn);
+      check Alcotest.bool
+        (Printf.sprintf "trace identical at jobs=%d policy=%s" parallel_jobs
+           label)
+        true (t1 = tn))
+    telemetry_schedules;
   check Alcotest.bool "cell markers bracket each campaign run" true
     (match t1 with
     | Sim.Trace.Cell_start { cell = 0; label } :: _ ->
