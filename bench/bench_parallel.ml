@@ -16,12 +16,16 @@
      the grid size, so a box with fewer cores simply timeshares and the
      row is flagged [oversubscribed] rather than silently collapsed;
 
-   - the imbalance duel: In_order vs Cost_sorted vs Chunked at jobs = 4,
-     comparing per-worker busy seconds from Pool stats. The makespan
-     (max worker busy) is the wall clock the schedule would need on
-     dedicated cores, so it is the scheduling metric that survives
-     timesharing: LPT keeps the expensive tail off a single straggler
-     and its makespan/mean ratio stays near 1.
+   - the imbalance duel: In_order vs Cost_sorted vs Chunked 32 vs
+     Chunked_auto at jobs = 4, comparing per-worker busy seconds from
+     Pool stats. The makespan (max worker busy) is the wall clock the
+     schedule would need on dedicated cores, so it is the scheduling
+     metric that survives timesharing: LPT keeps the expensive tail off
+     a single straggler and its makespan/mean ratio stays near 1, while
+     a fixed chunk:32 bundles the tail spikes into one claim.
+     Chunked_auto resolves its size from the same cost model
+     (Pool.auto_chunk) — on this grid the spike tail forces it to 1 —
+     and the chosen size is recorded per measurement.
 
    Results land in BENCH_parallel.json: the jobs curve, outcome parity
    per row, the per-policy worker_busy_s spread, and a registry snapshot
@@ -89,6 +93,7 @@ type measurement = {
   requested_jobs : int;
   actual_jobs : int;
   policy : string;
+  chunk : int;  (** claim positions per mutex acquisition (resolved) *)
   wall_s : float;
   makespan_s : float;  (** max worker busy seconds *)
   imbalance : float;  (** makespan / mean worker busy; 1.0 = balanced *)
@@ -111,7 +116,8 @@ let modeled_wall_s ~cells ~seq_wall_s ~total_cost ~jobs ~schedule =
   let n = Array.length cells in
   let order =
     match schedule with
-    | Stdx.Pool.In_order | Stdx.Pool.Chunked _ -> Array.init n (fun i -> i)
+    | Stdx.Pool.In_order | Stdx.Pool.Chunked _ | Stdx.Pool.Chunked_auto _ ->
+      Array.init n (fun i -> i)
     | Stdx.Pool.Cost_sorted cost ->
       let c = Array.init n cost in
       let order = Array.init n (fun i -> i) in
@@ -123,7 +129,12 @@ let modeled_wall_s ~cells ~seq_wall_s ~total_cost ~jobs ~schedule =
         order;
       order
   in
-  let chunk = match schedule with Stdx.Pool.Chunked k -> k | _ -> 1 in
+  let chunk =
+    match schedule with
+    | Stdx.Pool.Chunked k -> k
+    | Stdx.Pool.Chunked_auto cost -> Stdx.Pool.auto_chunk ~jobs ?cost n
+    | _ -> 1
+  in
   let free = Array.make jobs 0.0 in
   let pos = ref 0 in
   while !pos < n do
@@ -164,6 +175,7 @@ let execute ?(modeled_s = 0.0) ~cells ~reference ~jobs ~schedule () =
       requested_jobs = jobs;
       actual_jobs = s.Stdx.Pool.actual_jobs;
       policy = s.Stdx.Pool.policy;
+      chunk = s.Stdx.Pool.chunk;
       wall_s;
       makespan_s;
       imbalance;
@@ -184,12 +196,13 @@ let json_ints a =
 
 let json_of_measurement ~ncores m =
   Printf.sprintf
-    "    {\"policy\": %S, \"requested_jobs\": %d, \"actual_jobs\": %d,\n\
+    "    {\"policy\": %S, \"chunk\": %d, \"requested_jobs\": %d, \
+     \"actual_jobs\": %d,\n\
     \     \"clamped\": %b, \"oversubscribed\": %b, \"outcome_parity\": %b,\n\
     \     \"wall_clock_s\": %.6f, \"makespan_s\": %.6f, \"imbalance\": %.4f,\n\
     \     \"dedicated_wall_s\": %.6f,\n\
     \     \"worker_busy_s\": [%s], \"worker_tasks\": [%s]}"
-    m.policy m.requested_jobs m.actual_jobs
+    m.policy m.chunk m.requested_jobs m.actual_jobs
     (m.actual_jobs < m.requested_jobs)
     (m.requested_jobs > ncores)
     m.parity m.wall_s m.makespan_s m.imbalance m.modeled_s
@@ -275,9 +288,12 @@ let run () =
      kept (wall clocks on a shared box are noisy upward, never downward). *)
   Bench_common.subsection
     (Printf.sprintf "claiming-policy duel at jobs = %d" duel_jobs);
+  let auto_schedule =
+    Stdx.Pool.Chunked_auto (Some (fun i -> cell_cost cells.(i)))
+  in
   let duel_policies =
     [
-      Stdx.Pool.In_order; cost_schedule; Stdx.Pool.Chunked 32;
+      Stdx.Pool.In_order; cost_schedule; Stdx.Pool.Chunked 32; auto_schedule;
     ]
   in
   let duel =
@@ -299,8 +315,8 @@ let run () =
   let dt =
     Stdx.Table.create
       [
-        "policy"; "wall (s)"; "makespan (s)"; "imbalance"; "dedicated (s)";
-        "parity";
+        "policy"; "chunk"; "wall (s)"; "makespan (s)"; "imbalance";
+        "dedicated (s)"; "parity";
       ]
   in
   List.iter
@@ -308,6 +324,7 @@ let run () =
       Stdx.Table.add_row dt
         [
           m.policy;
+          string_of_int m.chunk;
           Printf.sprintf "%.3f" m.wall_s;
           Printf.sprintf "%.3f" m.makespan_s;
           Printf.sprintf "%.3f" m.imbalance;
@@ -318,6 +335,8 @@ let run () =
   Stdx.Table.print dt;
   let find_policy p = List.find (fun m -> m.policy = p) duel in
   let inorder = find_policy "inorder" and cost = find_policy "cost" in
+  let fixed_chunk = find_policy "chunk:32"
+  and auto = find_policy "chunk:auto" in
   (* The imbalance ratio and the dedicated-core replay are the
      structural comparisons: on a timeshared box the two policies'
      measured wall clocks coincide (total CPU work is identical;
@@ -334,6 +353,18 @@ let run () =
      %.3fs vs %.3fs (%s)\n"
     cost.imbalance inorder.imbalance cost.modeled_s inorder.modeled_s
     (if cost_wins then "cost-sorted wins" else "in-order wins");
+  (* The satellite headline: the auto-tuned chunk size must not repeat
+     chunk:32's mistake of bundling the expensive tail into one claim. *)
+  let auto_wins =
+    auto.modeled_s <= fixed_chunk.modeled_s
+    && auto.imbalance <= fixed_chunk.imbalance
+  in
+  Printf.printf
+    "chunk:auto chose %d (cap'd by the spike tail): dedicated-core wall \
+     %.3fs vs chunk:32's %.3fs, imbalance %.3f vs %.3f (%s)\n"
+    auto.chunk auto.modeled_s fixed_chunk.modeled_s auto.imbalance
+    fixed_chunk.imbalance
+    (if auto_wins then "auto wins" else "fixed chunk wins");
   let all_parity = List.for_all (fun m -> m.parity) (seq :: ladder @ duel) in
   let oc = open_out json_path in
   Printf.fprintf oc
@@ -352,7 +383,11 @@ let run () =
     \    \"policies\": [\n%s\n    ],\n\
     \    \"cost_sorted_beats_in_order\": %b,\n\
     \    \"cost_sorted_beats_in_order_makespan\": %b,\n\
-    \    \"cost_sorted_beats_in_order_wall\": %b\n\
+    \    \"cost_sorted_beats_in_order_wall\": %b,\n\
+    \    \"auto_chunk\": {\"chosen\": %d, \"fixed_chunk\": %d,\n\
+    \                   \"dedicated_wall_s\": %.6f, \
+     \"fixed_dedicated_wall_s\": %.6f,\n\
+    \                   \"beats_fixed_chunk\": %b}\n\
     \  },\n\
     \  \"metrics\": %s\n\
      }\n"
@@ -361,7 +396,8 @@ let run () =
        (List.map (json_of_measurement ~ncores) (seq :: ladder)))
     duel_jobs duel_reps
     (String.concat ",\n" (List.map (json_of_measurement ~ncores) duel))
-    cost_wins cost_wins_makespan cost_wins_wall
+    cost_wins cost_wins_makespan cost_wins_wall auto.chunk fixed_chunk.chunk
+    auto.modeled_s fixed_chunk.modeled_s auto_wins
     (Stdx.Metrics.to_json (Stdx.Metrics.snapshot metrics));
   close_out oc;
   Printf.printf "[scheduler record written to %s]\n" json_path;

@@ -98,20 +98,23 @@ type sweep_opts = {
   metrics : bool;
 }
 
-(* --schedule {inorder,cost,chunk:N}: "cost" maps to None — the
-   harness's own cost-sorted default, with its horizon x n^2 model —
-   so an explicit "cost" and an omitted flag mean the same policy. *)
+(* --schedule {inorder,cost,chunk:N,chunk:auto}: "cost" maps to None —
+   the harness's own cost-sorted default, with its horizon x n^2 model —
+   so an explicit "cost" and an omitted flag mean the same policy.
+   "chunk:auto" is Chunked_auto with the same harness cost model
+   (the harness fills it in for a [Chunked_auto None]). *)
 let parse_schedule s =
   match s with
   | "inorder" -> Ok (Some Stdx.Pool.In_order)
   | "cost" -> Ok None
+  | "chunk:auto" -> Ok (Some (Stdx.Pool.Chunked_auto None))
   | _ -> (
     match String.split_on_char ':' s with
     | [ "chunk"; k ] -> (
       match int_of_string_opt k with
       | Some k when k >= 1 -> Ok (Some (Stdx.Pool.Chunked k))
       | _ -> Error (`Msg "chunk size must be an int >= 1"))
-    | _ -> Error (`Msg "schedule must be inorder, cost or chunk:N"))
+    | _ -> Error (`Msg "schedule must be inorder, cost, chunk:N or chunk:auto"))
 
 let pp_schedule ppf = function
   | None -> Format.fprintf ppf "cost"
@@ -178,10 +181,11 @@ let sweep_flags =
           ~doc:
             "Claiming policy for the worker pool: $(b,inorder) (grid \
              order), $(b,cost) (cost-sorted, the default: most \
-             expensive cells first under the horizon x n^2 model), or \
-             $(b,chunk:N) (N consecutive cells per claim). Outcomes \
-             are identical under every policy; only wall clock and \
-             load balance change.")
+             expensive cells first under the horizon x n^2 model), \
+             $(b,chunk:N) (N consecutive cells per claim), or \
+             $(b,chunk:auto) (chunk size tuned from the same cost \
+             model). Outcomes are identical under every policy; only \
+             wall clock and load balance change.")
   in
   let trace_arg =
     Arg.(

@@ -5,26 +5,26 @@ cd "$(dirname "$0")"
 dune build
 dune runtest
 
-# Re-run the pool, sweep, and telemetry suites with real concurrency
-# forced, once under each claiming policy: the jobs-determinism tests
-# read REPRO_JOBS (worker count) and REPRO_SCHEDULE (pinned policy), so
-# this exercises the multi-domain path and every claiming order even
-# when the default jobs count is 1.
-for schedule in inorder cost chunk:3; do
+# Re-run the pool, sweep, flat-certification and telemetry suites with
+# real concurrency forced, once under each claiming policy: the
+# jobs-determinism tests read REPRO_JOBS (worker count) and
+# REPRO_SCHEDULE (pinned policy), so this exercises the multi-domain
+# path and every claiming order even when the default jobs count is 1.
+# sim.flat rides the loop because its differentials (flat vs boxed
+# codec, flat crafters vs the forced boxed bridge) include chaos
+# campaigns through the parallel harness.
+for schedule in inorder cost chunk:3 chunk:auto; do
   REPRO_JOBS=4 REPRO_SCHEDULE="$schedule" \
     dune exec test/main.exe -- test 'stdx.pool' -q
   REPRO_JOBS=4 REPRO_SCHEDULE="$schedule" \
     dune exec test/main.exe -- test 'sim.harness' -q
   REPRO_JOBS=4 REPRO_SCHEDULE="$schedule" \
     dune exec test/main.exe -- test 'sim.harness.chaos' -q
+  REPRO_JOBS=4 REPRO_SCHEDULE="$schedule" \
+    dune exec test/main.exe -- test 'sim.flat' -q
 done
 REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.metrics' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.telemetry' -q
-
-# Flat-vs-boxed certification: the packed-code engine path must be
-# bit-identical to the boxed path — including whole chaos campaigns run
-# through the parallel harness with real worker domains.
-REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.flat' -q
 
 # Chaos smoke: a fixed-seed campaign on A(4,1) must re-stabilise after
 # every scheduled perturbation (countctl exits non-zero otherwise), and
@@ -42,13 +42,16 @@ rm -f "$trace_file"
 # covers a fresh BENCH_chaos.json.
 dune exec bench/main.exe -- chaos > /dev/null
 
-# Regenerate the flat-vs-boxed engine throughput record; the bench
-# itself exits non-zero if the two paths' outcomes ever differ.
+# Regenerate the engine throughput record (flat with adversary
+# kernels, flat on the boxed crafting bridge, fully boxed — plus GC
+# accounting per path); the bench itself exits non-zero if any of the
+# three paths' outcomes ever differ.
 dune exec bench/main.exe -- engine > /dev/null
 
 # Regenerate the scheduler record: the jobs ladder and the
-# claiming-policy duel both exit non-zero if any configuration's
-# outcomes diverge from the sequential reference.
+# claiming-policy duel (now including the auto-tuned chunk policy,
+# whose chosen size the record carries) both exit non-zero if any
+# configuration's outcomes diverge from the sequential reference.
 dune exec bench/main.exe -- parallel > /dev/null
 
 # The bench logs must always be well-formed JSON (the at_exit flush is

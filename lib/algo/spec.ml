@@ -5,6 +5,7 @@ type 's codec = {
   encode_state : 's -> int;
   decode_state : int -> 's;
   output_code : self:int -> int -> int;
+  random_code : Stdx.Rng.t -> int;
   fresh_kernel : unit -> kernel;
 }
 
@@ -35,13 +36,23 @@ let generic_kernel ~n ~transition ~encode_state ~decode_state () =
   in
   { step }
 
-let identity_codec ~num_states ~transition ~output : int codec =
+let identity_codec ?random_code ~num_states ~transition ~output () : int codec
+    =
   if num_states < 1 then invalid_arg "Spec.identity_codec: num_states < 1";
+  let random_code =
+    (* Must consume the rng exactly as the spec's [random_state]; the
+       default matches the uniform draw every identity-coded family in
+       this repository uses. *)
+    match random_code with
+    | Some rc -> rc
+    | None -> fun rng -> Stdx.Rng.int rng num_states
+  in
   {
     num_states;
     encode_state = (fun s -> s);
     decode_state = (fun code -> code);
     output_code = output;
+    random_code;
     fresh_kernel = (fun () -> { step = transition });
   }
 
@@ -75,11 +86,20 @@ let derive_codec spec =
       else !found
     in
     let output_code ~self code = spec.output ~self (decode_state code) in
+    let random_code rng = encode_state (spec.random_state rng) in
     let fresh_kernel =
       generic_kernel ~n:spec.n ~transition:spec.transition ~encode_state
         ~decode_state
     in
-    Some { num_states; encode_state; decode_state; output_code; fresh_kernel }
+    Some
+      {
+        num_states;
+        encode_state;
+        decode_state;
+        output_code;
+        random_code;
+        fresh_kernel;
+      }
 
 let with_derived_codec spec = { spec with codec = derive_codec spec }
 
@@ -128,6 +148,26 @@ let validate spec =
           fail "state_bits = %d < ceil(log2 %d) codec states" spec.state_bits
             codec.num_states
         else begin
+          (* [random_code] must be [encode_state . random_state] with the
+             same rng consumption: check values on identical streams and
+             that the streams stay in lockstep afterwards. *)
+          let random_code_ok =
+            let ok = ref true in
+            for seed = 1 to 8 do
+              let r1 = Stdx.Rng.create seed and r2 = Stdx.Rng.create seed in
+              let code = codec.random_code r1 in
+              let s = spec.random_state r2 in
+              if
+                code < 0 || code >= codec.num_states
+                || (not (spec.equal_state (codec.decode_state code) s))
+                || Stdx.Rng.bits r1 <> Stdx.Rng.bits r2
+              then ok := false
+            done;
+            !ok
+          in
+          if not random_code_ok then
+            fail "codec.random_code diverges from random_state"
+          else
           match spec.all_states with
           | None -> Ok ()
           | Some states ->

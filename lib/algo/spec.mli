@@ -38,6 +38,13 @@ type 's codec = {
   output_code : self:int -> int -> int;
       (** [h] in code space: [output_code ~self (encode_state s)
           = output ~self s] *)
+  random_code : Stdx.Rng.t -> int;
+      (** [random_state] in code space: [random_code rng =
+          encode_state (random_state rng)], {e consuming the rng
+          stream identically} — flat adversary kernels fabricate
+          random messages through this, so any divergence (value or
+          draw count) breaks the flat/boxed bit-identity contract.
+          {!validate} spot-checks both on fresh streams. *)
   fresh_kernel : unit -> kernel;
       (** a fresh kernel with private scratch; called once per engine run
           so concurrent runs over a shared spec never race *)
@@ -88,13 +95,18 @@ val generic_kernel :
     kernel. *)
 
 val identity_codec :
+  ?random_code:(Stdx.Rng.t -> int) ->
   num_states:int ->
   transition:(self:int -> rng:Stdx.Rng.t -> int array -> int) ->
   output:(self:int -> int -> int) ->
+  unit ->
   int codec
 (** Codec for specs whose state type is already a dense [int] in
     [\[0, num_states)]: encoding is the identity and the kernel is the
-    spec's own transition. *)
+    spec's own transition. [random_code] defaults to a uniform
+    [Rng.int rng num_states] draw — override it iff the spec's
+    [random_state] samples differently (the two must stay in draw-level
+    lockstep; see {!codec.random_code}). *)
 
 val derive_codec : 's t -> 's codec option
 (** [derive_codec spec] builds a codec from [all_states] (sorted by

@@ -172,12 +172,43 @@ let flat_kernel (ic : _ Algo.Spec.codec) p ~big_c view_params () =
      variants, which fall back to the generic kernel). *)
   let pow_level = Array.init k (fun l -> Stdx.Imath.pow (2 * m) l) in
   let modulus = Array.init k (fun l -> tau * pow_level.(l) * 2 * m) in
+  (* Division is the dominant cost of decoding (an idiv per mod/div, and
+     [load_slot] runs on every cache miss), so everything with a small
+     domain is tabulated once per kernel: block/slot of a node id, and
+     the (r, b) view of a reduced counter value. The view tables hold
+     one entry per residue mod [modulus.(blk)] — their total size is
+     bounded by k * 3(F+2)(2m)^k, tiny for every practical tower — and
+     fall back to the division chain if a pathological parameterisation
+     would make them large. *)
+  let blk_of = Array.init big_n (fun u -> u / n_inner) in
+  let slot_of = Array.init big_n (fun u -> u mod n_inner) in
+  let tab_base = Array.make k 0 in
+  let tab_total =
+    let t = ref 0 in
+    for l = 0 to k - 1 do
+      tab_base.(l) <- !t;
+      t := !t + modulus.(l)
+    done;
+    !t
+  in
+  let view_tabs = modulus.(k - 1) <= 1 lsl 20 && tab_total <= 1 lsl 21 in
+  let r_tab = Array.make (if view_tabs then tab_total else 0) 0 in
+  let b_tab = Array.make (if view_tabs then tab_total else 0) 0 in
+  if view_tabs then
+    for l = 0 to k - 1 do
+      let base = tab_base.(l) in
+      for v' = 0 to modulus.(l) - 1 do
+        r_tab.(base + v') <- v' mod tau;
+        b_tab.(base + v') <- v' / tau / pow_level.(l) mod m
+      done
+    done;
   (* Scratch: the decoded (r, b) views and a-registers of all N nodes, the
      per-block leader ballots, the inner-block message codes, and the
      phase-king histogram (kept in sync with [cached]). *)
   let view_r = Array.make big_n 0 in
   let view_b = Array.make big_n 0 in
   let a_codes = Array.make big_n 0 in
+  let inner_codes = Array.make big_n 0 in
   let block_votes = Array.make k 0 in
   let inner_msgs = Array.make n_inner 0 in
   let hist = Array.make (cap + 1) 0 in
@@ -191,8 +222,16 @@ let flat_kernel (ic : _ Algo.Spec.codec) p ~big_c view_params () =
   let cached = Array.make big_n 0 in
   let leader = ref 0 in
   let r_value = ref 0 in
+  (* [r_value mod 3] and [r_value / 3], refreshed with [r_value]: the
+     phase-king dispatch reads them on every step call. *)
+  let r_instr = ref 0 in
+  let r_ell = ref 0 in
   let min_sup = ref 0 in
-  let inner_kernel = ic.Algo.Spec.fresh_kernel () in
+  (* One inner-kernel instance per block: kernels are pure caches over
+     their received vector, and per-block instances keep each cache keyed
+     to one block's messages instead of thrashing as recipients from
+     different blocks interleave. *)
+  let inner_kernels = Array.init k (fun _ -> ic.Algo.Spec.fresh_kernel ()) in
   (* Boyer-Moore majority with verification over a.(lo .. lo+len-1),
      mirroring Algo.Vote.majority_int. *)
   let majority_slice (a : int array) ~lo ~len ~default =
@@ -212,36 +251,44 @@ let flat_kernel (ic : _ Algo.Spec.codec) p ~big_c view_params () =
     done;
     if !cnt * 2 > len then !candidate else default
   in
+  (* Slots where the incoming vector differs from [cached]; filled by the
+     cache check in [step] and consumed by the incremental patch. *)
+  let miss = Array.make big_n 0 in
   (* Register increment in code space: None stays None, Some x becomes
-     Some ((x + 1) mod cap). *)
-  let incr_code c = if c = 0 then 0 else (c mod cap) + 1 in
+     Some ((x + 1) mod cap). Codes lie in [0, cap], so the reduction is a
+     compare, not a division. *)
+  let incr_code c = if c = 0 then 0 else if c = cap then 1 else c + 1 in
   let bin_of c = if c = 0 then cap else c - 1 in
-  let refresh (received : int array) =
-    (* The histogram tracks [cached]'s a-codes: undo the old vector's
-       contributions (O(N), not O(cap)) before loading the new one. *)
-    if !valid then
-      for u = 0 to big_n - 1 do
-        let b = bin_of a_codes.(u) in
-        hist.(b) <- hist.(b) - 1
-      done;
-    valid := true;
-    (* Decode every node's view and a-register from its code. *)
-    for u = 0 to big_n - 1 do
-      let code = received.(u) in
-      cached.(u) <- code;
-      let rest = code lsr 1 in
-      let c = rest mod num_a in
-      a_codes.(u) <- c;
-      let b = bin_of c in
-      hist.(b) <- hist.(b) + 1;
-      let blk = u / n_inner in
-      let value = ic.Algo.Spec.output_code ~self:(u mod n_inner) (rest / num_a) in
-      let v' = value mod modulus.(blk) in
+  (* Decode slot [u]'s code into the view/register scratch and add its
+     a-code to the histogram (the caller removes the old contribution). *)
+  let load_slot u code =
+    cached.(u) <- code;
+    let rest = code lsr 1 in
+    (* One division serves both quotient and remainder. *)
+    let inner_code = rest / num_a in
+    let c = rest - (inner_code * num_a) in
+    a_codes.(u) <- c;
+    hist.(bin_of c) <- hist.(bin_of c) + 1;
+    let blk = blk_of.(u) in
+    inner_codes.(u) <- inner_code;
+    let value = ic.Algo.Spec.output_code ~self:slot_of.(u) inner_code in
+    let v' = value mod modulus.(blk) in
+    if view_tabs then begin
+      view_r.(u) <- r_tab.(tab_base.(blk) + v');
+      view_b.(u) <- b_tab.(tab_base.(blk) + v')
+    end
+    else begin
       view_r.(u) <- v' mod tau;
       view_b.(u) <- v' / tau / pow_level.(blk) mod m
-    done;
-    (* Nested majorities: per-block leader pointers, leader block, and the
-       leader block's round counter. *)
+    end
+  in
+  (* Nested majorities over the current scratch: per-block leader
+     pointers, leader block, the leader block's round counter, and the
+     smallest value with more than F votes (I_{3l+1}); scanning the
+     received values (any such value occurs at least once) instead of all
+     of [0, cap) keeps the latter O(N). Pure compares, no divisions —
+     cheap next to the decode work above. *)
+  let recompute_aggregates () =
     for i = 0 to k - 1 do
       block_votes.(i) <-
         majority_slice view_b ~lo:(i * n_inner) ~len:n_inner ~default:0
@@ -249,9 +296,8 @@ let flat_kernel (ic : _ Algo.Spec.codec) p ~big_c view_params () =
     leader := majority_slice block_votes ~lo:0 ~len:k ~default:0;
     r_value :=
       majority_slice view_r ~lo:(!leader * n_inner) ~len:n_inner ~default:0;
-    (* Smallest value with more than F votes (I_{3l+1}); scanning the
-       received values (any such value occurs at least once) instead of
-       all of [0, cap) keeps this O(N). *)
+    r_ell := !r_value / 3;
+    r_instr := !r_value - (!r_ell * 3);
     let best = ref cap in
     for u = 0 to big_n - 1 do
       let c = a_codes.(u) in
@@ -262,57 +308,96 @@ let flat_kernel (ic : _ Algo.Spec.codec) p ~big_c view_params () =
     done;
     min_sup := if !best = cap then 0 else !best + 1
   in
+  let refresh (received : int array) =
+    (* The histogram tracks [cached]'s a-codes: undo the old vector's
+       contributions (O(N), not O(cap)) before loading the new one. *)
+    if !valid then
+      for u = 0 to big_n - 1 do
+        let b = bin_of a_codes.(u) in
+        hist.(b) <- hist.(b) - 1
+      done;
+    valid := true;
+    for u = 0 to big_n - 1 do
+      load_slot u received.(u)
+    done;
+    recompute_aggregates ()
+  in
+  (* Incremental twin of [refresh] for the hostile hot path: only the
+     [nmiss] slots listed in [miss] differ from [cached] (typically the
+     faulty senders' per-recipient overrides), so re-decode just those
+     and rebuild the cheap aggregate layer. Equivalent to a full refresh
+     by construction. *)
+  let patch (received : int array) nmiss =
+    for i = 0 to nmiss - 1 do
+      let u = miss.(i) in
+      hist.(bin_of a_codes.(u)) <- hist.(bin_of a_codes.(u)) - 1;
+      load_slot u received.(u)
+    done;
+    recompute_aggregates ()
+  in
   let step ~self ~rng (received : int array) =
-    let block = self / n_inner and slot = self mod n_inner in
-    (* Step 1: advance this block's copy of A on the block's messages.
-       Runs first so the per-node rng is consumed exactly as in the boxed
-       transition. *)
+    let block = blk_of.(self) and slot = slot_of.(self) in
+    (* Sync the cache first (no rng is consumed by cache maintenance, so
+       this reordering cannot perturb the per-node stream): served as-is
+       when this recipient saw the same vector as the previous step call,
+       patched incrementally when only a few slots changed. *)
+    (if !valid then begin
+       let nmiss = ref 0 in
+       for u = 0 to big_n - 1 do
+         if received.(u) <> cached.(u) then begin
+           miss.(!nmiss) <- u;
+           incr nmiss
+         end
+       done;
+       if !nmiss > 0 then
+         if !nmiss < big_n then patch received !nmiss else refresh received
+     end
+     else refresh received);
+    (* Step 1: advance this block's copy of A on the block's messages —
+       read from the decoded [inner_codes] cache ([cached] = [received]
+       after the sync), not by re-dividing the raw codes. *)
     let base = block * n_inner in
     for j = 0 to n_inner - 1 do
-      inner_msgs.(j) <- received.(base + j) lsr 1 / num_a
+      inner_msgs.(j) <- inner_codes.(base + j)
     done;
-    let inner' = inner_kernel.Algo.Spec.step ~self:slot ~rng inner_msgs in
-    (* Step 2: views and nested majorities, served from the cache when
-       this recipient saw the same vector as the previous step call. *)
-    let same =
-      !valid
-      &&
-      let i = ref 0 in
-      while !i < big_n && received.(!i) = cached.(!i) do
-        incr i
-      done;
-      !i = big_n
+    let inner' =
+      (inner_kernels.(block)).Algo.Spec.step ~self:slot ~rng inner_msgs
     in
-    if not same then refresh received;
-    (* Step 3: phase-king instruction I_{r_value} on the (a, d) registers.
-       Byzantine clamping is a no-op here: every a-code lies in
-       [0, cap + 1) by construction of the encoding. *)
+    (* Step 2: phase-king instruction I_{r_value} on the (a, d) registers,
+       read from the synced aggregates. Byzantine clamping is a no-op
+       here: every a-code lies in [0, cap + 1) by construction of the
+       encoding. The (a', d') pair is packed into one int
+       [a' lsl 1 lor d'] — exactly the register half of the result code —
+       so the match allocates nothing. *)
     let self_a = a_codes.(self) in
     let self_d = received.(self) land 1 in
-    let a', d' =
-      match !r_value mod 3 with
+    let reg' =
+      match !r_instr with
       | 0 ->
         let support = hist.(bin_of self_a) in
         let a = if support < big_n - big_f then 0 else self_a in
-        (incr_code a, self_d)
+        (incr_code a lsl 1) lor self_d
       | 1 ->
         let d = if hist.(bin_of self_a) >= big_n - big_f then 1 else 0 in
-        (incr_code !min_sup, d)
+        (incr_code !min_sup lsl 1) lor d
       | _ ->
-        let ell = !r_value / 3 in
         let a =
           if self_a = 0 || self_d = 0 then begin
             let imposed =
-              let c = a_codes.(ell) in
+              let c = a_codes.(!r_ell) in
               if c = 0 then cap else c - 1
             in
-            ((imposed + 1) mod cap) + 1
+            (* (imposed + 1) mod cap, with imposed <= cap: a compare. *)
+            let x = imposed + 1 in
+            (if x >= cap then x - cap else x) + 1
           end
           else incr_code self_a
         in
-        (a, 1)
+        (a lsl 1) lor 1
     in
-    ((inner' * num_a + a') lsl 1) lor d'
+    (* [+], not [lor]: the a-field is a mixed-radix digit, so the shifted
+       inner part is not bit-aligned with [reg']. *)
+    ((inner' * num_a) lsl 1) + reg'
   in
   { Algo.Spec.step }
 
@@ -358,7 +443,13 @@ let construct_gen ?ablation ~(inner : 's Algo.Spec.t) ~k ~big_f ~big_c () =
       let raw = Stdx.Rng.int rng (big_c + 1) in
       if raw = big_c then None else Some raw
     in
-    { inner = inner.Algo.Spec.random_state rng; a; d = Stdx.Rng.bool rng }
+    (* Draw order pinned by let-bindings: a-register, d-flag, inner
+       state. This is the historical stream (record fields used to be
+       evaluated right-to-left) and the codec's [random_code] mirrors it
+       draw for draw — keep the two in sync. *)
+    let d = Stdx.Rng.bool rng in
+    let inner_state = inner.Algo.Spec.random_state rng in
+    { inner = inner_state; a; d }
   in
   let transition ~self ~rng (received : 's state array) =
     let block, slot = block_of p self in
@@ -418,6 +509,16 @@ let construct_gen ?ablation ~(inner : 's Algo.Spec.t) ~k ~big_f ~big_c () =
           let a_code = code lsr 1 mod num_a in
           if a_code = 0 then 0 else (a_code - 1) mod big_c
         in
+        (* Same draw order as [random_state]: a-register, d-flag, inner
+           state — composed through the inner codec's own random_code
+           so towers stay in draw-level lockstep at every level. *)
+        let random_code rng =
+          let raw = Stdx.Rng.int rng (big_c + 1) in
+          let a_code = if raw = big_c then 0 else raw + 1 in
+          let d = if Stdx.Rng.bool rng then 1 else 0 in
+          let inner_code = ic.Algo.Spec.random_code rng in
+          (((inner_code * num_a) + a_code) lsl 1) lor d
+        in
         let fresh_kernel =
           match ablation with
           | None -> flat_kernel ic p ~big_c view_params
@@ -433,6 +534,7 @@ let construct_gen ?ablation ~(inner : 's Algo.Spec.t) ~k ~big_f ~big_c () =
             encode_state;
             decode_state;
             output_code;
+            random_code;
             fresh_kernel;
           })
   in

@@ -28,7 +28,8 @@ let make ~n ~f : int Algo.Spec.t =
          the algorithm is randomised. *)
       Some
         (Algo.Spec.identity_codec ~num_states:2 ~transition
-           ~output:(fun ~self:_ code -> code));
+           ~output:(fun ~self:_ code -> code)
+           ());
   }
 
 let expected_stabilisation_hint ~n ~f = 2.0 ** float_of_int (2 * (n - f))

@@ -27,7 +27,8 @@ let base ~name ~n ~c ~transition : int Algo.Spec.t =
          at every c. *)
       Some
         (Algo.Spec.identity_codec ~num_states:c ~transition
-           ~output:(fun ~self:_ code -> code));
+           ~output:(fun ~self:_ code -> code)
+           ());
   }
 
 let single ~c =

@@ -8,9 +8,28 @@ type 's crafter = {
     's array array;
 }
 
-type 's t = { name : string; benign : bool; fresh : unit -> 's crafter }
+type flat_env = { n : int; random_code : Stdx.Rng.t -> int }
+
+type flat_crafter = {
+  craft_flat :
+    rng:Stdx.Rng.t ->
+    round:int ->
+    states:Statebuf.t ->
+    faulty:int array ->
+    out:int array ->
+    unit;
+}
+
+type 's t = {
+  name : string;
+  benign : bool;
+  fresh : unit -> 's crafter;
+  fresh_flat : (flat_env -> flat_crafter) option;
+}
 
 let name t = t.name
+let has_flat t = t.fresh_flat <> None
+let without_flat t = { t with fresh_flat = None }
 
 let is_faulty faulty v = Array.exists (fun u -> u = v) faulty
 
@@ -21,6 +40,70 @@ let correct_ids n faulty =
 (* Build the message matrix by calling [msg ~fi ~sender ~recipient]. *)
 let matrix ~n ~faulty msg =
   Array.mapi (fun fi sender -> Array.init n (fun r -> msg ~fi ~sender ~recipient:r)) faulty
+
+(* --- flat-kernel plumbing ------------------------------------------- *)
+
+(* Allocation-free membership test for the small faulty arrays. *)
+(* A while-loop, not an inner recursive function — a closure here would
+   allocate on every call, and [fill_correct] probes every node id each
+   crafted round. *)
+let mem_int (a : int array) x =
+  let len = Array.length a in
+  let i = ref 0 in
+  while !i < len && a.(!i) <> x do
+    incr i
+  done;
+  !i < len
+
+let fill_row (out : int array) ~base ~n code =
+  for r = 0 to n - 1 do
+    out.(base + r) <- code
+  done
+
+(* Correct ids in ascending order into [dst]; returns the count. Matches
+   [correct_ids] without allocating. *)
+let fill_correct (dst : int array) ~n ~faulty =
+  let k = ref 0 in
+  for v = 0 to n - 1 do
+    if not (mem_int faulty v) then begin
+      dst.(!k) <- v;
+      incr k
+    end
+  done;
+  !k
+
+(* Ring of the last [depth] packed state rows, newest at [head]: the
+   packed-code mirror of the boxed crafters' state-vector history lists,
+   preallocated once per run. *)
+type ring = {
+  rows : int array array;
+  mutable head : int;
+  mutable pushes : int;
+}
+
+let ring_create ~depth ~n =
+  {
+    rows = Array.init depth (fun _ -> Array.make n 0);
+    head = depth - 1;
+    pushes = 0;
+  }
+
+let ring_push ring states n =
+  let depth = Array.length ring.rows in
+  ring.head <- (ring.head + 1) mod depth;
+  Statebuf.blit_to states ring.rows.(ring.head) n;
+  ring.pushes <- ring.pushes + 1
+
+(* The row [delay] pushes back, or the newest row (the just-pushed
+   current states) while history is still filling — exactly the boxed
+   [history_nth] fallback. *)
+let ring_nth ring ~delay =
+  let depth = Array.length ring.rows in
+  if ring.pushes > delay then
+    ring.rows.((ring.head - delay + (2 * depth)) mod depth)
+  else ring.rows.(ring.head)
+
+(* --- the zoo --------------------------------------------------------- *)
 
 let benign () =
   {
@@ -34,6 +117,18 @@ let benign () =
               matrix ~n:(Array.length states) ~faulty
                 (fun ~fi:_ ~sender ~recipient:_ -> states.(sender)));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          {
+            craft_flat =
+              (fun ~rng:_ ~round:_ ~states ~faulty ~out ->
+                for fi = 0 to Array.length faulty - 1 do
+                  fill_row out ~base:(fi * n) ~n
+                    (Statebuf.get states faulty.(fi))
+                done);
+          });
   }
 
 let stuck () =
@@ -57,6 +152,26 @@ let stuck () =
               matrix ~n:(Array.length states) ~faulty
                 (fun ~fi ~sender:_ ~recipient:_ -> frozen_states.(fi)));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          let frozen = Array.make n 0 in
+          let have = ref false in
+          {
+            craft_flat =
+              (fun ~rng:_ ~round:_ ~states ~faulty ~out ->
+                let nf = Array.length faulty in
+                if not !have then begin
+                  for fi = 0 to nf - 1 do
+                    frozen.(fi) <- Statebuf.get states faulty.(fi)
+                  done;
+                  have := true
+                end;
+                for fi = 0 to nf - 1 do
+                  fill_row out ~base:(fi * n) ~n frozen.(fi)
+                done);
+          });
   }
 
 let random_consistent () =
@@ -72,6 +187,19 @@ let random_consistent () =
               matrix ~n:(Array.length states) ~faulty
                 (fun ~fi ~sender:_ ~recipient:_ -> per_round.(fi)));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          {
+            craft_flat =
+              (fun ~rng ~round:_ ~states:_ ~faulty ~out ->
+                (* One draw per faulty node in fi order — the boxed
+                   per-round Array.map draw order. *)
+                for fi = 0 to Array.length faulty - 1 do
+                  fill_row out ~base:(fi * n) ~n (env.random_code rng)
+                done);
+          });
   }
 
 let random_equivocate () =
@@ -86,6 +214,21 @@ let random_equivocate () =
               matrix ~n:(Array.length states) ~faulty
                 (fun ~fi:_ ~sender:_ ~recipient:_ -> spec.Algo.Spec.random_state rng));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          {
+            craft_flat =
+              (fun ~rng ~round:_ ~states:_ ~faulty ~out ->
+                (* Draws in matrix order: fi outer, recipient inner. *)
+                for fi = 0 to Array.length faulty - 1 do
+                  let base = fi * n in
+                  for r = 0 to n - 1 do
+                    out.(base + r) <- env.random_code rng
+                  done
+                done);
+          });
   }
 
 let mimic ~offset () =
@@ -108,6 +251,23 @@ let mimic ~offset () =
                   in
                   states.(victim)));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          let correct = Array.make n 0 in
+          {
+            craft_flat =
+              (fun ~rng:_ ~round ~states ~faulty ~out ->
+                let nc = fill_correct correct ~n ~faulty in
+                for fi = 0 to Array.length faulty - 1 do
+                  let victim =
+                    if nc = 0 then faulty.(fi)
+                    else correct.((fi + offset + round) mod nc)
+                  in
+                  fill_row out ~base:(fi * n) ~n (Statebuf.get states victim)
+                done);
+          });
   }
 
 let split_brain () =
@@ -131,6 +291,28 @@ let split_brain () =
                     if recipient mod 2 = 0 then states.(a) else states.(b)
                   end));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          let correct = Array.make n 0 in
+          {
+            craft_flat =
+              (fun ~rng:_ ~round:_ ~states ~faulty ~out ->
+                let nc = fill_correct correct ~n ~faulty in
+                for fi = 0 to Array.length faulty - 1 do
+                  let base = fi * n in
+                  if nc = 0 then
+                    fill_row out ~base ~n (Statebuf.get states faulty.(fi))
+                  else begin
+                    let a = Statebuf.get states correct.(0) in
+                    let b = Statebuf.get states correct.(nc - 1) in
+                    for r = 0 to n - 1 do
+                      out.(base + r) <- (if r mod 2 = 0 then a else b)
+                    done
+                  end
+                done);
+          });
   }
 
 (* Bounded history of past state vectors, newest first. *)
@@ -164,6 +346,20 @@ let stale ~delay () =
               matrix ~n:(Array.length states) ~faulty
                 (fun ~fi:_ ~sender ~recipient:_ -> old.(sender)));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          let ring = ring_create ~depth:(delay + 1) ~n in
+          {
+            craft_flat =
+              (fun ~rng:_ ~round:_ ~states ~faulty ~out ->
+                ring_push ring states n;
+                let old = ring_nth ring ~delay in
+                for fi = 0 to Array.length faulty - 1 do
+                  fill_row out ~base:(fi * n) ~n old.(faulty.(fi))
+                done);
+          });
   }
 
 let replay_correct ~delay () =
@@ -186,6 +382,23 @@ let replay_correct ~delay () =
                   if Array.length correct = 0 then old.(sender)
                   else old.(correct.(fi mod Array.length correct))));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          let ring = ring_create ~depth:(delay + 1) ~n in
+          let correct = Array.make n 0 in
+          {
+            craft_flat =
+              (fun ~rng:_ ~round:_ ~states ~faulty ~out ->
+                ring_push ring states n;
+                let old = ring_nth ring ~delay in
+                let nc = fill_correct correct ~n ~faulty in
+                for fi = 0 to Array.length faulty - 1 do
+                  let src = if nc = 0 then faulty.(fi) else correct.(fi mod nc) in
+                  fill_row out ~base:(fi * n) ~n old.(src)
+                done);
+          });
   }
 
 let flip_flop () =
@@ -211,6 +424,29 @@ let flip_flop () =
                   let phase = (round + recipient) mod 2 in
                   if phase = 0 then s0 else s1));
         });
+    fresh_flat =
+      Some
+        (fun env ->
+          let n = env.n in
+          let pair = ref None in
+          {
+            craft_flat =
+              (fun ~rng ~round ~states:_ ~faulty ~out ->
+                let s0, s1 =
+                  match !pair with
+                  | Some p -> p
+                  | None ->
+                    let p = (env.random_code rng, env.random_code rng) in
+                    pair := Some p;
+                    p
+                in
+                for fi = 0 to Array.length faulty - 1 do
+                  let base = fi * n in
+                  for r = 0 to n - 1 do
+                    out.(base + r) <- (if (round + r) mod 2 = 0 then s0 else s1)
+                  done
+                done);
+          });
   }
 
 (* Spread of a multiset of outputs: number of distinct values. *)
@@ -222,6 +458,10 @@ let greedy_confusion ~pool () =
   {
     name = Printf.sprintf "greedy-confusion(%d)" pool;
     benign = false;
+    (* One-step lookahead simulates recipients' transitions on boxed
+       states and splits probe rngs — intrinsically boxed; the engine
+       bridges it (decode, craft, re-encode) on the flat path. *)
+    fresh_flat = None;
     fresh =
       (fun () ->
         {

@@ -25,6 +25,40 @@ type 's crafter = {
           the [fi]-th faulty node sends to recipient [r] this round. *)
 }
 
+type flat_env = {
+  n : int;  (** node count — fixes the [out] row stride *)
+  random_code : Stdx.Rng.t -> int;
+      (** the spec codec's {!Algo.Spec.codec.random_code}: a random
+          state in code space, consuming the rng exactly like the
+          spec's [random_state] *)
+}
+(** Everything a flat kernel may know about the algorithm it attacks:
+    the node count and a code-space random sampler. Deliberately no
+    decoder — flat kernels are zero-decode by construction. *)
+
+type flat_crafter = {
+  craft_flat :
+    rng:Stdx.Rng.t ->
+    round:int ->
+    states:Statebuf.t ->
+    faulty:int array ->
+    out:int array ->
+    unit;
+      (** Code-space twin of {!crafter.craft}: read the packed current
+          states, write the crafted message codes into the preallocated
+          [out] with [out.(fi * n + r)] = the code the [fi]-th faulty
+          node sends to recipient [r]. Only slots of the current faulty
+          set may be written ([out] is engine-owned scratch, not
+          cleared between rounds).
+
+          {b RNG stream contract:} a flat kernel must consume [rng]
+          draw-for-draw like its boxed twin on the same round — same
+          number of draws, same order, each random state drawn through
+          {!flat_env.random_code}. This is what keeps flat-crafted runs
+          bit-identical to boxed-crafted ones (certified by the
+          differential suite in [test_flat.ml]). *)
+}
+
 type 's t = {
   name : string;
   benign : bool;
@@ -33,9 +67,25 @@ type 's t = {
           not on the display name. *)
   fresh : unit -> 's crafter;
       (** A new stateful crafter per run (history buffers etc.). *)
+  fresh_flat : (flat_env -> flat_crafter) option;
+      (** Code-level kernel of the same strategy, used by the engine's
+          flat path; a fresh stateful instance per phase, like {!fresh}.
+          [None] ({!greedy_confusion}, and strategies added without a
+          kernel) makes the flat engine fall back to the boxed crafting
+          bridge — decode, [craft], re-encode — per phase, so chaos
+          schedules can mix flat-kerneled and bridged adversaries
+          freely. *)
 }
 
 val name : 's t -> string
+
+val has_flat : 's t -> bool
+(** [fresh_flat <> None]: this strategy runs natively on the flat path. *)
+
+val without_flat : 's t -> 's t
+(** Same strategy with the flat kernel stripped: the engine's flat path
+    is forced through the boxed crafting bridge. For differential tests
+    of the bridge itself. *)
 
 val benign : unit -> 's t
 (** Faulty nodes behave exactly like correct ones. *)

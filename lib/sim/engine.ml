@@ -39,43 +39,13 @@ type 's outcome = {
 let validate_faulty ~n ~f faulty =
   Schedule.validate_faulty ~who:"Engine.run" ~n ~f faulty
 
-(* Packed state vector of the flat path: one slot per node holding the
-   spec's integer state code. Codes below 256 pack into a byte string;
-   larger state spaces use an unboxed int bigarray (up to 2^62 codes). *)
-module Statebuf = struct
-  type t =
-    | Small of Bytes.t
-    | Wide of (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
-
-  let create ~num_states n =
-    if num_states <= 256 then Small (Bytes.make n '\000')
-    else begin
-      let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout n in
-      Bigarray.Array1.fill a 0;
-      Wide a
-    end
-
-  let get t i =
-    match t with
-    | Small b -> Char.code (Bytes.get b i)
-    | Wide a -> Bigarray.Array1.get a i
-
-  let set t i v =
-    match t with
-    | Small b -> Bytes.set b i (Char.chr v)
-    | Wide a -> Bigarray.Array1.set a i v
-
-  let blit_to t (dst : int array) n =
-    match t with
-    | Small b ->
-      for i = 0 to n - 1 do
-        dst.(i) <- Char.code (Bytes.get b i)
-      done
-    | Wide a ->
-      for i = 0 to n - 1 do
-        dst.(i) <- Bigarray.Array1.get a i
-      done
-end
+(* The per-phase crafting mode of the flat path: a code-level adversary
+   kernel when the strategy ships one, otherwise the boxed bridge
+   (decode the state vector, call the boxed crafter, re-encode). The
+   boxed representation always holds a [Boxed_crafter]. *)
+type 's crafting =
+  | Flat_kernel of Adversary.flat_crafter
+  | Boxed_crafter of 's Adversary.crafter
 
 (* The two state-vector representations behind [run_schedule]'s single
    scheduler loop. All phase/event/detector/report logic is shared; only
@@ -126,10 +96,28 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
   | Some states when Array.length states <> n ->
     invalid_arg "Engine.run_schedule: init has wrong length"
   | _ -> ());
+  (* The flat path requires a codec and is bypassed by the 's-typed
+     [probe]/[trace] hooks, which need real boxed state vectors every
+     round. Structured [tracer]/[metrics] observers are representation-
+     independent and stay on. *)
+  let flat_codec =
+    match (spec.Algo.Spec.codec, probe, trace) with
+    | Some codec, None, None -> Some codec
+    | _ -> None
+  in
+  let flat_env =
+    Option.map
+      (fun c -> { Adversary.n; random_code = c.Algo.Spec.random_code })
+      flat_codec
+  in
   (* Per-phase fault bookkeeping, refreshed at every phase boundary. *)
   let faulty = ref [||] in
   let correct = ref [] in
-  let crafter = ref (phases.(0).Schedule.adversary.Adversary.fresh ()) in
+  let crafting =
+    ref (Boxed_crafter (phases.(0).Schedule.adversary.Adversary.fresh ()))
+  in
+  let flat_phases = ref 0 in
+  let bridged_phases = ref 0 in
   let enter_phase i =
     let p = phases.(i) in
     let fa =
@@ -140,7 +128,15 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
     Array.iter (fun v -> is_faulty.(v) <- true) fa;
     faulty := fa;
     correct := List.filter (fun v -> not is_faulty.(v)) (List.init n Fun.id);
-    crafter := p.Schedule.adversary.Adversary.fresh ();
+    (crafting :=
+       match (flat_env, p.Schedule.adversary.Adversary.fresh_flat) with
+       | Some env, Some ff ->
+         incr flat_phases;
+         Flat_kernel (ff env)
+       | Some _, None ->
+         incr bridged_phases;
+         Boxed_crafter (p.Schedule.adversary.Adversary.fresh ())
+       | None, _ -> Boxed_crafter (p.Schedule.adversary.Adversary.fresh ()));
     if tr_seams then
       Trace.emit tracer
         (Trace.Phase_start
@@ -150,15 +146,6 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
              adversary = Adversary.name p.Schedule.adversary;
              faulty = Array.to_list fa;
            })
-  in
-  (* The flat path requires a codec and is bypassed by the 's-typed
-     [probe]/[trace] hooks, which need real boxed state vectors every
-     round. Structured [tracer]/[metrics] observers are representation-
-     independent and stay on. *)
-  let flat_codec =
-    match (spec.Algo.Spec.codec, probe, trace) with
-    | Some codec, None, None -> Some codec
-    | _ -> None
   in
   let rep =
     match flat_codec with
@@ -195,8 +182,14 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
             let crafted =
               if Array.length fa = 0 then [||]
               else
-                !crafter.Adversary.craft ~spec ~rng:adv_rng ~round ~states:cur
-                  ~faulty:fa
+                match !crafting with
+                | Boxed_crafter c ->
+                  c.Adversary.craft ~spec ~rng:adv_rng ~round ~states:cur
+                    ~faulty:fa
+                | Flat_kernel _ ->
+                  (* [enter_phase] never picks a flat kernel without a
+                     flat codec. *)
+                  assert false
             in
             (* Per-recipient view: truth everywhere, overridden on faulty
                slots. *)
@@ -220,8 +213,19 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
       let kernel = codec.Algo.Spec.fresh_kernel () in
       let recv = Array.make n 0 in
       let outs = Array.make n 0 in
-      (* Boxed mirror of the current states, refreshed only when a crafter
-         needs to look at them (faulty set non-empty). *)
+      (* Crafted message codes, [crafted.(fi * n + r)] = code the fi-th
+         faulty node sends recipient r. Sized once for the worst legal
+         faulty set; flat kernels and the bridge both write into it. *)
+      let crafted = Array.make (max 1 (spec.Algo.Spec.f * n)) 0 in
+      (* Recipient visit order. Recipients whose crafted columns are
+         identical are stepped consecutively, so kernels that cache
+         their received-vector scan (e.g. the boost tower) refresh once
+         per distinct column instead of once per node — the difference
+         between hostile and benign throughput. Reordering is sound
+         because every node draws from its own [node_rng] stream. *)
+      let visit = Array.init n Fun.id in
+      (* Boxed mirror of the current states, rebuilt only on rounds where
+         a bridged (no flat kernel) crafter must look at them. *)
       let mirror = Array.make n (decode 0) in
       (match init with
       | Some states ->
@@ -230,6 +234,33 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
         for v = 0 to n - 1 do
           Statebuf.set !cur v (encode (spec.Algo.Spec.random_state init_rng))
         done);
+      (* Lexicographic order on crafted columns; ties keep index order so
+         the grouping is deterministic. A while-loop, not an inner
+         recursive function — a closure here would allocate on every
+         comparison of the hot loop. *)
+      let col_cmp nf a b =
+        let c = ref 0 in
+        let fi = ref 0 in
+        while !c = 0 && !fi < nf do
+          c := Int.compare crafted.((!fi * n) + a) crafted.((!fi * n) + b);
+          incr fi
+        done;
+        !c
+      in
+      let group_recipients nf =
+        for v = 0 to n - 1 do
+          visit.(v) <- v
+        done;
+        for i = 1 to n - 1 do
+          let x = visit.(i) in
+          let j = ref (i - 1) in
+          while !j >= 0 && col_cmp nf visit.(!j) x > 0 do
+            visit.(!j + 1) <- visit.(!j);
+            decr j
+          done;
+          visit.(!j + 1) <- x
+        done
+      in
       {
         probe_hook = (fun ~round:_ -> ());
         outputs_row =
@@ -248,22 +279,35 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
           (fun ~round ->
             let fa = !faulty in
             let nf = Array.length fa in
-            let crafted =
-              if nf = 0 then [||]
-              else begin
+            if nf > 0 then begin
+              (match !crafting with
+              | Flat_kernel fc ->
+                fc.Adversary.craft_flat ~rng:adv_rng ~round ~states:!cur
+                  ~faulty:fa ~out:crafted
+              | Boxed_crafter c ->
                 for v = 0 to n - 1 do
                   mirror.(v) <- decode (Statebuf.get !cur v)
                 done;
-                !crafter.Adversary.craft ~spec ~rng:adv_rng ~round
-                  ~states:mirror ~faulty:fa
-              end
-            in
+                let m =
+                  c.Adversary.craft ~spec ~rng:adv_rng ~round ~states:mirror
+                    ~faulty:fa
+                in
+                for fi = 0 to nf - 1 do
+                  let row = m.(fi) in
+                  let base = fi * n in
+                  for r = 0 to n - 1 do
+                    crafted.(base + r) <- encode row.(r)
+                  done
+                done);
+              group_recipients nf
+            end;
             Statebuf.blit_to !cur recv n;
-            for v = 0 to n - 1 do
+            for i = 0 to n - 1 do
               (* Faulty slots are rewritten for every recipient, so the
                  shared recv scratch never needs restoring. *)
+              let v = if nf = 0 then i else visit.(i) in
               for fi = 0 to nf - 1 do
-                recv.(fa.(fi)) <- encode crafted.(fi).(v)
+                recv.(fa.(fi)) <- crafted.((fi * n) + v)
               done;
               Statebuf.set !nxt v
                 (kernel.Algo.Spec.step ~self:v ~rng:node_rng.(v) recv)
@@ -326,23 +370,10 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
              recovery;
            })
   in
-  while not !stop do
-    (* Phase boundary: the outgoing phase's verdict is frozen before the
-       boundary row is observed under the incoming fault pattern. A
-       while-loop so zero-duration phases still produce reports. *)
-    while !phase_idx + 1 < num_phases && !t = starts.(!phase_idx + 1) do
-      finish_phase ~end_round:!t;
-      incr phase_idx;
-      enter_phase !phase_idx;
-      Online.reset ~correct:!correct detector;
-      if tr_seams then
-        Trace.emit tracer
-          (Trace.Detector_reset { round = !t; phase = !phase_idx });
-      last_pert := !t;
-      pert_count := 1
-    done;
-    (* Transient corruption strikes before the round's row is observed. *)
-    let rec apply_events () =
+  (* Transient corruption strikes before the round's row is observed.
+     Defined outside the round loop: a closure created per round would
+     allocate even on the (typical) event-free rounds. *)
+  let rec apply_events () =
       match !pending with
       | { Schedule.round; victims } :: rest when round = !t ->
         pending := rest;
@@ -378,7 +409,22 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
         incr pert_count;
         apply_events ()
       | _ -> ()
-    in
+  in
+  while not !stop do
+    (* Phase boundary: the outgoing phase's verdict is frozen before the
+       boundary row is observed under the incoming fault pattern. A
+       while-loop so zero-duration phases still produce reports. *)
+    while !phase_idx + 1 < num_phases && !t = starts.(!phase_idx + 1) do
+      finish_phase ~end_round:!t;
+      incr phase_idx;
+      enter_phase !phase_idx;
+      Online.reset ~correct:!correct detector;
+      if tr_seams then
+        Trace.emit tracer
+          (Trace.Detector_reset { round = !t; phase = !phase_idx });
+      last_pert := !t;
+      pert_count := 1
+    done;
     apply_events ();
     rep.probe_hook ~round:!t;
     let outs = rep.outputs_row () in
@@ -411,7 +457,11 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
   | None -> ()
   | Some m ->
     Stdx.Metrics.incr m "engine.runs";
-    if flat_codec <> None then Stdx.Metrics.incr m "engine.flat_runs";
+    if flat_codec <> None then begin
+      Stdx.Metrics.incr m "engine.flat_runs";
+      Stdx.Metrics.incr ~by:!flat_phases m "engine.flat_craft_phases";
+      Stdx.Metrics.incr ~by:!bridged_phases m "engine.bridged_craft_phases"
+    end;
     Stdx.Metrics.incr ~by:!t m "engine.rounds";
     Stdx.Metrics.incr ~by:(!t * messages_per_round) m "engine.messages";
     if !early then Stdx.Metrics.incr m "engine.early_exits";

@@ -10,17 +10,36 @@
     {2 Flat fast path}
 
     When the spec carries a {!Algo.Spec.codec} — every built-in family
-    does — the engine keeps the state vector as packed integer codes
+    does — the engine keeps the state vector as a packed {!Statebuf.t}
     (one byte per node for small state spaces, an unboxed int bigarray
     otherwise) and advances rounds through the codec's kernel: counting
     passes over int arrays, double-buffered, with no per-node allocation
-    in the steady state. The flat path is {e bit-identical} to the boxed
+    in the steady state.
+
+    Adversaries run flat too: each phase whose strategy ships a
+    {!Adversary.flat_crafter} crafts message {e codes} directly into a
+    preallocated scratch matrix — no boxed mirror, no per-round message
+    matrix, zero decode/encode in the hostile hot loop. Strategies
+    without a flat kernel ([fresh_flat = None]) fall back, per phase, to
+    the boxed crafting bridge (decode the state vector, call the boxed
+    [craft], re-encode), so chaos schedules can mix both freely. On
+    hostile rounds the engine additionally visits recipients grouped by
+    identical crafted columns, which keeps received-vector caches inside
+    counting kernels hot under equivocating adversaries — sound because
+    every node owns its private RNG stream.
+
+    The flat path is {e bit-identical} to the boxed
     path — same RNG stream consumption, same verdicts, rounds, phase
     reports, final states and trace events (certified by the
-    differential suite in [test_chaos.ml]). The boxed path remains for
+    differential suites in [test_chaos.ml] and [test_flat.ml], which
+    also pit flat kernels against their boxed twins and against the
+    forced bridge, {!Adversary.without_flat}). The boxed path remains for
     specs without a codec and whenever a ['s]-typed [probe]/[trace] hook
     is passed (those need real state vectors every round); to force it,
-    strip the codec: [{ spec with codec = None }].
+    strip the codec: [{ spec with codec = None }]. The [metrics] sink
+    records per-run flat coverage: [engine.flat_craft_phases] counts
+    phases crafted by a flat kernel, [engine.bridged_craft_phases]
+    phases that went through the bridge.
 
     {2 Verdict equivalence}
 

@@ -165,6 +165,10 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
   let instrumented = want_metrics || trace_level <> Trace.Off in
   let schedule =
     match schedule with
+    | Some (Stdx.Pool.Chunked_auto None) ->
+      (* "chunk:auto" with no cost model of its own: tune under the
+         harness cost model, like the [None] default below. *)
+      Stdx.Pool.Chunked_auto (Some (fun _ -> default_cell_cost ~n rounds))
     | Some s -> s
     | None -> Stdx.Pool.Cost_sorted (fun _ -> default_cell_cost ~n rounds)
   in
@@ -328,16 +332,18 @@ module Chaos = struct
     let want_metrics = metrics <> None in
     let instrumented = want_metrics || trace_level <> Trace.Off in
     let n = spec.Algo.Spec.n in
+    (* Campaigns draw random phase durations, so horizons — and costs —
+       genuinely differ per campaign here. *)
+    let campaign_cost i =
+      let _, sched, _ = schedules.(i / num_seeds) in
+      default_cell_cost ~n (Schedule.total_rounds sched)
+    in
     let pool_schedule =
       match schedule with
+      | Some (Stdx.Pool.Chunked_auto None) ->
+        Stdx.Pool.Chunked_auto (Some campaign_cost)
       | Some s -> s
-      | None ->
-        (* Campaigns draw random phase durations, so horizons — and
-           costs — genuinely differ per campaign here. *)
-        Stdx.Pool.Cost_sorted
-          (fun i ->
-            let _, sched, _ = schedules.(i / num_seeds) in
-            default_cell_cost ~n (Schedule.total_rounds sched))
+      | None -> Stdx.Pool.Cost_sorted campaign_cost
     in
     let results =
       Stdx.Pool.exec ~jobs ~schedule:pool_schedule

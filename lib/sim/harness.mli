@@ -72,9 +72,10 @@ module Config : sig
     schedule : Stdx.Pool.schedule option;
         (** claiming policy for the pool; [None] (the default) means
             [Pool.Cost_sorted] under the harness cost model
-            (horizon × n² per cell). Any policy yields identical
-            outcomes — only wall clock and the [pool.worker_busy_s]
-            spread change. *)
+            (horizon × n² per cell), and [Chunked_auto None] has its
+            chunk size tuned under the same cost model. Any policy
+            yields identical outcomes — only wall clock and the
+            [pool.worker_busy_s] spread change. *)
   }
 
   val default : t
@@ -159,7 +160,8 @@ module Chaos : sig
               campaign's own total horizon × n² as its cost — campaign
               durations are random, so the default LPT ordering is
               non-trivial here, unlike {!Harness.run}'s constant-cost
-              grids *)
+              grids. [Chunked_auto None] tunes its chunk size under
+              the same per-campaign cost model. *)
     }
 
     val default : t

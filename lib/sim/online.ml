@@ -19,7 +19,15 @@ type t = {
   mutable seam : int;  (* earliest t with clean counting steps over [t, last) *)
   mutable last_agree : bool;
   mutable last_value : int;  (* canonical correct output at the last row *)
-  mutable recent : (int * int array) list;  (* newest first, bounded by window *)
+  (* Sliding window of the last [window] output rows as a preallocated
+     ring (rows sized on first observation): [observe] runs once per
+     simulated round on the engine's hot path, so it must not allocate.
+     [ring_head] is the slot of the newest row, [ring_count] the number
+     of rows stored so far. *)
+  mutable ring : int array array;
+  ring_rounds : int array;
+  mutable ring_head : int;
+  mutable ring_count : int;
 }
 
 let create ?window ~c ~correct ~min_suffix () =
@@ -39,40 +47,47 @@ let create ?window ~c ~correct ~min_suffix () =
     seam = 0;
     last_agree = true;
     last_value = 0;
-    recent = [];
+    ring = [||];
+    ring_rounds = Array.make window 0;
+    ring_head = window - 1;
+    ring_count = 0;
   }
-
-(* Agreement among correct nodes and their common value; vacuously true
-   (with a dummy value) when no node is correct, matching
-   [Stabilise.agreement_at] / [count_ok_step] on an empty correct set. *)
-let row_consensus t row =
-  if Array.length t.correct = 0 then (true, 0)
-  else begin
-    let v0 = row.(t.correct.(0)) in
-    (Array.for_all (fun v -> row.(v) = v0) t.correct, v0)
-  end
-
-let rec take k = function
-  | [] -> []
-  | h :: tl -> if k = 0 then [] else h :: take (k - 1) tl
 
 let observe t ~round row =
   if round <> t.rounds_seen then
     invalid_arg
       (Printf.sprintf "Online.observe: expected round %d, got %d" t.rounds_seen
          round);
-  let agree, v = row_consensus t row in
+  (* Agreement among correct nodes and their common value; vacuously true
+     (with a dummy value) when no node is correct, matching
+     [Stabilise.agreement_at] / [count_ok_step] on an empty correct set.
+     A while-loop, not [Array.for_all] — the predicate closure would
+     allocate every round. *)
+  let nc = Array.length t.correct in
+  let v = if nc = 0 then 0 else row.(t.correct.(0)) in
+  let agree =
+    let ok = ref true in
+    let i = ref 1 in
+    while !ok && !i < nc do
+      if row.(t.correct.(!i)) <> v then ok := false else incr i
+    done;
+    !ok
+  in
   if t.rounds_seen > 0 then begin
     let clean =
-      Array.length t.correct = 0
-      || (t.last_agree && agree && v = (t.last_value + 1) mod t.c)
+      nc = 0 || (t.last_agree && agree && v = (t.last_value + 1) mod t.c)
     in
     if not clean then t.seam <- round
   end;
   t.last_agree <- agree;
   t.last_value <- v;
   t.rounds_seen <- t.rounds_seen + 1;
-  t.recent <- take t.window ((round, Array.copy row) :: t.recent)
+  if Array.length t.ring = 0 then
+    t.ring <- Array.init t.window (fun _ -> Array.make (Array.length row) 0);
+  t.ring_head <- (t.ring_head + 1) mod t.window;
+  Array.blit row 0 t.ring.(t.ring_head) 0 (Array.length row);
+  t.ring_rounds.(t.ring_head) <- round;
+  if t.ring_count < t.window then t.ring_count <- t.ring_count + 1
 
 let rounds_seen t = t.rounds_seen
 let seam t = t.seam
@@ -100,4 +115,12 @@ let verdict t =
 let stabilised t =
   match verdict t with Stabilized _ -> true | Not_stabilized -> false
 
-let recent t = List.rev t.recent
+(* Materialised oldest-first; called once per run, so allocating copies
+   here (rather than per observed round) is the point of the ring. *)
+let recent t =
+  let out = ref [] in
+  for i = 0 to t.ring_count - 1 do
+    let slot = (t.ring_head - i + (2 * t.window)) mod t.window in
+    out := (t.ring_rounds.(slot), Array.copy t.ring.(slot)) :: !out
+  done;
+  !out

@@ -9,18 +9,71 @@ type schedule =
   | In_order
   | Cost_sorted of (int -> float)
   | Chunked of int
+  | Chunked_auto of (int -> float) option
 
 let schedule_name = function
   | In_order -> "inorder"
   | Cost_sorted _ -> "cost"
   | Chunked k -> Printf.sprintf "chunk:%d" k
+  | Chunked_auto _ -> "chunk:auto"
 
 type stats = {
   actual_jobs : int;
   policy : string;
+  chunk : int;
   worker_busy_s : float array;
   worker_tasks : int array;
 }
+
+(* Chunk-size tuning from the cost model. A chunk is claimed whole, so
+   its cost sum is a lower bound on one worker's tail latency: the
+   largest acceptable chunk is the largest [k] (capped so every worker
+   still sees several claims) whose costliest aligned run of [k] tasks
+   stays within a [1 / (4 * jobs)] slice of the grid's total cost — the
+   same slice the cap grants a uniform grid, so constant costs reach
+   the cap exactly. On a
+   uniform grid every chunk fits and [k] hits the cap (claiming
+   overhead amortised); on a skewed grid the expensive tail forces [k]
+   down — in the limit to 1, where no chunk can bundle two spikes. *)
+let auto_chunk ~jobs ?cost n =
+  if n <= 0 then 1
+  else begin
+    let jobs = max 1 (min jobs n) in
+    let cap = max 1 (min 64 (n / (jobs * 4))) in
+    match cost with
+    | None -> cap
+    | Some cost ->
+      let costs =
+        Array.init n (fun i ->
+            let c = cost i in
+            if not (Float.is_finite c) then
+              invalid_arg "Pool.auto_chunk: cost must be finite";
+            c)
+      in
+      let total = Array.fold_left ( +. ) 0.0 costs in
+      let budget = total /. float_of_int (4 * jobs) in
+      (* Largest k <= cap whose costliest aligned chunk fits; chunks are
+         aligned because [exec] claims fixed-size runs from position 0. *)
+      let fits k =
+        let ok = ref true in
+        let pos = ref 0 in
+        while !ok && !pos < n do
+          let hi = min n (!pos + k) in
+          let s = ref 0.0 in
+          for p = !pos to hi - 1 do
+            s := !s +. costs.(p)
+          done;
+          if !s > budget then ok := false;
+          pos := hi
+        done;
+        !ok
+      in
+      let k = ref cap in
+      while !k > 1 && not (fits !k) do
+        decr k
+      done;
+      !k
+  end
 
 (* The claim order: a permutation of [0, n) that workers consume from a
    shared cursor. [Cost_sorted] is LPT — decreasing estimated cost, ties
@@ -28,7 +81,7 @@ type stats = {
    [In_order] exactly (the sort below is total and deterministic). *)
 let claim_order ~schedule n =
   match schedule with
-  | In_order | Chunked _ -> Array.init n (fun i -> i)
+  | In_order | Chunked _ | Chunked_auto _ -> Array.init n (fun i -> i)
   | Cost_sorted cost ->
     let costs =
       Array.init n (fun i ->
@@ -54,7 +107,12 @@ let exec ?(jobs = 1) ?(schedule = In_order) ?stats n f =
   | _ -> ());
   let jobs = min jobs (max 1 n) in
   let order = claim_order ~schedule n in
-  let chunk = match schedule with Chunked k -> k | _ -> 1 in
+  let chunk =
+    match schedule with
+    | Chunked k -> k
+    | Chunked_auto cost -> auto_chunk ~jobs ?cost n
+    | In_order | Cost_sorted _ -> 1
+  in
   (* Result and failure slots are pre-sized; slot [i] is written only by
      the worker that claimed index [i], so distinct slots never race. *)
   let results = Array.make n None in
@@ -100,6 +158,7 @@ let exec ?(jobs = 1) ?(schedule = In_order) ?stats n f =
       {
         actual_jobs = jobs;
         policy = schedule_name schedule;
+        chunk;
         worker_busy_s = busy;
         worker_tasks = tasks;
       }

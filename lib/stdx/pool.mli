@@ -38,13 +38,40 @@ type schedule =
           acquisition (in index order) — lower claiming overhead for
           grids of many tiny tasks. [k < 1] raises [Invalid_argument];
           [Chunked 1] is {!In_order}. *)
+  | Chunked_auto of (int -> float) option
+      (** [Chunked_auto cost] is {!Chunked} with the size resolved at
+          {!exec} time by {!auto_chunk} from the per-task cost model
+          ([None] means uniform costs). A fixed chunk size is a bet on
+          the grid's shape — large chunks amortise claiming on uniform
+          grids but bundle a skewed grid's expensive tail into one
+          claim, stranding it on a single worker. The auto policy picks
+          the largest size whose costliest chunk still fits a
+          per-worker slack budget, so the same spelling is safe on
+          both. The resolved size is reported in {!stats.chunk}. *)
 
 val schedule_name : schedule -> string
-(** ["inorder"], ["cost"] or ["chunk:N"] — for logs and reports. *)
+(** ["inorder"], ["cost"], ["chunk:N"] or ["chunk:auto"] — for logs and
+    reports. *)
+
+val auto_chunk : jobs:int -> ?cost:(int -> float) -> int -> int
+(** [auto_chunk ~jobs ?cost n] is the chunk size {!Chunked_auto}
+    resolves to for an [n]-task grid on [jobs] workers: the largest
+    [k <= max 1 (min 64 (n / (4 * jobs)))] such that no aligned run of
+    [k] consecutive tasks costs more than [1 / (4 * jobs)] of the
+    grid's total estimated cost — every worker keeps at least ~4
+    claims' worth of rebalancing opportunity, and no single claim can
+    hold a tail spike hostage. Uniform costs (or no [cost] at all)
+    reach the cap; a grid whose tail spike alone exceeds the budget
+    collapses to [1]. Deterministic; costs must be finite
+    ([Invalid_argument] otherwise). *)
 
 type stats = {
   actual_jobs : int;  (** worker count after clamping to the task count *)
   policy : string;  (** {!schedule_name} of the policy that ran *)
+  chunk : int;
+      (** consecutive claim positions per mutex acquisition: [1] for
+          {!In_order} and {!Cost_sorted}, [k] for [Chunked k], and the
+          {!auto_chunk}-resolved size for {!Chunked_auto} *)
   worker_busy_s : float array;
       (** per-worker sum of task wall-clock seconds, length
           [actual_jobs]; slot 0 is the calling domain. The spread of

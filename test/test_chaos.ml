@@ -502,6 +502,7 @@ let test_chaos_jobs_determinism () =
       ("inorder", Some Stdx.Pool.In_order);
       ("cost(default)", None);
       ("chunk:3", Some (Stdx.Pool.Chunked 3));
+      ("chunk:auto", Some (Stdx.Pool.Chunked_auto None));
     ]
 
 let test_chaos_rejects_bad_config () =

@@ -741,15 +741,22 @@ let parallel_jobs =
   | None -> 8
 
 (* [None] = the harness default (Cost_sorted under the horizon x n^2
-   model); [Some _] overrides via [Config.with_schedule]. *)
+   model); [Some _] overrides via [Config.with_schedule]. [Chunked_auto
+   None] gets its cost model filled in by the harness. *)
 let parallel_schedules =
-  let all = [ Some Stdx.Pool.In_order; None; Some (Stdx.Pool.Chunked 3) ] in
+  let all =
+    [
+      Some Stdx.Pool.In_order; None; Some (Stdx.Pool.Chunked 3);
+      Some (Stdx.Pool.Chunked_auto None);
+    ]
+  in
   match Sys.getenv_opt "REPRO_SCHEDULE" with
   | None -> all
   | Some s -> (
     match String.trim s with
     | "inorder" -> [ Some Stdx.Pool.In_order ]
     | "cost" -> [ None ]
+    | "chunk:auto" -> [ Some (Stdx.Pool.Chunked_auto None) ]
     | s -> (
       match String.split_on_char ':' s with
       | [ "chunk"; k ] -> (

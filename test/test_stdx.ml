@@ -308,17 +308,19 @@ let pool_schedules =
     Stdx.Pool.Cost_sorted float_of_int;
     Stdx.Pool.Cost_sorted (fun _ -> 1.0);
     Stdx.Pool.Chunked 3;
+    Stdx.Pool.Chunked_auto None;
+    Stdx.Pool.Chunked_auto (Some (fun i -> float_of_int (1 lsl (i land 7))));
   ]
 
 let test_pool_exec_policy_invariant =
   qcheck "Pool.exec = sequential under every policy and jobs count"
     QCheck.(
-      quad (list small_int) (int_range 1 8) (int_range 0 4) (int_range 1 5))
+      quad (list small_int) (int_range 1 8) (int_range 0 7) (int_range 1 5))
     (fun (xs, jobs, tag, k) ->
       let a = Array.of_list xs in
       let n = Array.length a in
       let schedule =
-        if tag = 4 then Stdx.Pool.Chunked k else List.nth pool_schedules tag
+        if tag = 7 then Stdx.Pool.Chunked k else List.nth pool_schedules tag
       in
       Stdx.Pool.exec ~jobs ~schedule n (fun i -> (a.(i) * 7) - i)
       = Array.init n (fun i -> (a.(i) * 7) - i))
@@ -393,7 +395,53 @@ let test_pool_schedule_names () =
   check Alcotest.string "cost" "cost"
     (Stdx.Pool.schedule_name (Stdx.Pool.Cost_sorted float_of_int));
   check Alcotest.string "chunk" "chunk:7"
-    (Stdx.Pool.schedule_name (Stdx.Pool.Chunked 7))
+    (Stdx.Pool.schedule_name (Stdx.Pool.Chunked 7));
+  check Alcotest.string "chunk:auto" "chunk:auto"
+    (Stdx.Pool.schedule_name (Stdx.Pool.Chunked_auto None))
+
+let test_pool_auto_chunk () =
+  (* No cost model: every chunk "fits", so the size is the cap — n over
+     4 claims per worker, never above 64 or below 1. *)
+  check Alcotest.int "uniform hits the cap" 64
+    (Stdx.Pool.auto_chunk ~jobs:4 4096);
+  check Alcotest.int "cap is n/(4*jobs)" 8 (Stdx.Pool.auto_chunk ~jobs:4 128);
+  check Alcotest.int "small grids degrade to 1" 1
+    (Stdx.Pool.auto_chunk ~jobs:4 7);
+  check Alcotest.int "empty grid" 1 (Stdx.Pool.auto_chunk ~jobs:4 0);
+  (* A flat cost model is the same as no cost model. *)
+  check Alcotest.int "constant costs hit the cap" 8
+    (Stdx.Pool.auto_chunk ~jobs:4 ~cost:(fun _ -> 3.0) 128);
+  (* One spike worth most of the grid: any chunk containing it blows the
+     per-worker budget, so the size collapses to 1 — the spike can no
+     longer be bundled with (and stall) other tasks. *)
+  let spiked i = if i = 120 then 1000.0 else 1.0 in
+  check Alcotest.int "spiked tail forces chunk 1" 1
+    (Stdx.Pool.auto_chunk ~jobs:4 ~cost:spiked 128);
+  (* Mild skew lands between the extremes. *)
+  let mild i = float_of_int (1 + (i land 3)) in
+  let k = Stdx.Pool.auto_chunk ~jobs:4 ~cost:mild 128 in
+  check Alcotest.bool "mild skew stays in [1, cap]" true (k >= 1 && k <= 8);
+  check Alcotest.bool "non-finite costs rejected" true
+    (try
+       ignore (Stdx.Pool.auto_chunk ~jobs:2 ~cost:(fun _ -> Float.nan) 16);
+       false
+     with Invalid_argument _ -> true);
+  (* The resolved size rides the stats record. *)
+  let seen = ref 0 in
+  ignore
+    (Stdx.Pool.exec ~jobs:4
+       ~schedule:(Stdx.Pool.Chunked_auto (Some spiked))
+       ~stats:(fun s -> seen := s.Stdx.Pool.chunk)
+       128
+       (fun i -> i));
+  check Alcotest.int "stats carry the resolved chunk" 1 !seen;
+  ignore
+    (Stdx.Pool.exec ~jobs:4
+       ~schedule:(Stdx.Pool.Chunked_auto None)
+       ~stats:(fun s -> seen := s.Stdx.Pool.chunk)
+       128
+       (fun i -> i));
+  check Alcotest.int "uniform auto chunk in stats" 8 !seen
 
 let test_pool_aliases_carry_schedule () =
   check
@@ -503,6 +551,7 @@ let suite =
           test_pool_policy_error_propagation;
         case "stats report the execution" test_pool_stats;
         case "schedule names" test_pool_schedule_names;
+        case "auto-tuned chunk size" test_pool_auto_chunk;
         case "aliases carry the schedule" test_pool_aliases_carry_schedule;
       ] );
     ( "stdx.table",
