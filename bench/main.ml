@@ -25,6 +25,7 @@ let experiments =
     ("oblivious", "Corollary 5: oblivious fixed links", Bench_pulling.oblivious_sweep);
     ("bits", "Bits on the wire: broadcast vs pulling", Bench_pulling.bits_on_wire);
     ("chaos", "Chaos campaigns: recovery under time-varying faults", Bench_chaos.run);
+    ("hunt", "Schedule hunting: fuzzing throughput and shrink effort", Bench_hunt.run);
     ("ablations", "Ablations A1-A3", Bench_ablation.run);
     ("bechamel", "Micro-benchmarks", Bench_micro.run);
   ]

@@ -81,6 +81,22 @@ let adversary_of_name name =
     (Sim.Adversary.standard_suite ()
     @ [ Sim.Adversary.greedy_confusion ~pool:2 () ])
 
+(* Small explicit algorithms nameable on the command line (verify,
+   hunt --algorithm): trivial:C and leader:N:C. *)
+let parse_algo s =
+  match String.split_on_char ':' s with
+  | [ "trivial"; c ] -> (
+    match int_of_string_opt c with
+    | Some c when c >= 1 ->
+      Some (Algo.Spec.Packed (Counting.Trivial.single ~c))
+    | _ -> None)
+  | [ "leader"; n; c ] -> (
+    match (int_of_string_opt n, int_of_string_opt c) with
+    | Some n, Some c when n >= 1 && c >= 1 ->
+      Some (Algo.Spec.Packed (Counting.Trivial.follow_leader ~n ~c))
+    | _ -> None)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Flags shared by the sweep-shaped subcommands (run, verify, chaos):
    horizon, seeds, min-suffix, worker domains, claiming policy.
@@ -406,18 +422,7 @@ let verify_cmd =
           ~doc:"Algorithm: trivial:C or leader:N:C.")
   in
   let run algo opts =
-    let spec =
-      match String.split_on_char ':' algo with
-      | [ "trivial"; c ] ->
-        Some (Algo.Spec.Packed (Counting.Trivial.single ~c:(int_of_string c)))
-      | [ "leader"; n; c ] ->
-        Some
-          (Algo.Spec.Packed
-             (Counting.Trivial.follow_leader ~n:(int_of_string n)
-                ~c:(int_of_string c)))
-      | _ -> None
-    in
-    match spec with
+    match parse_algo algo with
     | None -> `Error (false, "unknown algorithm spec")
     | Some (Algo.Spec.Packed spec) -> (
       match Mc.Checker.check ~jobs:opts.jobs spec with
@@ -654,6 +659,11 @@ let report_cmd =
       let timeline = ref [] in
       let walls = ref [] in
       let rounds_seen = ref 0 in
+      let hunt_trials = ref 0 in
+      let hunt_hits = ref 0 in
+      let hunt_shrink_steps = ref 0 in
+      let hunt_shrink_kept = ref 0 in
+      let hunt_worst = ref neg_infinity in
       let flush_pending ~end_round ~recovery =
         match !pending with
         | None -> ()
@@ -700,15 +710,39 @@ let report_cmd =
           | Sim.Trace.Round _ -> incr rounds_seen
           | Sim.Trace.Verdict { round; phase = _; stabilized = _; recovery }
             -> flush_pending ~end_round:round ~recovery
+          | Sim.Trace.Hunt_trial { score; hit; _ } ->
+            incr hunt_trials;
+            if hit then incr hunt_hits;
+            if score > !hunt_worst then hunt_worst := score
+          | Sim.Trace.Hunt_shrink { steps; kept; _ } ->
+            hunt_shrink_steps := !hunt_shrink_steps + steps;
+            hunt_shrink_kept := !hunt_shrink_kept + kept
           | Sim.Trace.Cell_end { cell; wall_s } ->
             flush_pending ~end_round:(-1) ~recovery:None;
             walls := (cell, wall_s) :: !walls)
         events;
       flush_pending ~end_round:(-1) ~recovery:None;
       let rows = List.rev !rows in
-      if rows = [] then
+      let print_hunt () =
+        if !hunt_trials > 0 then begin
+          Printf.printf "hunt: %d trial(s), %d hit(s)" !hunt_trials !hunt_hits;
+          if !hunt_shrink_steps > 0 then
+            Printf.printf ", %d shrink step(s), %d kept" !hunt_shrink_steps
+              !hunt_shrink_kept;
+          if !hunt_hits > 0 && !hunt_worst > neg_infinity then
+            Printf.printf ", worst score %.17g" !hunt_worst;
+          Printf.printf "\n"
+        end
+      in
+      if rows = [] && !hunt_trials = 0 then
         `Error
           (false, Printf.sprintf "%s: no phase reports in trace" path)
+      else if rows = [] then begin
+        (* A hunt campaign trace: no per-phase engine seams, only the
+           campaign-level trial/shrink stream. *)
+        print_hunt ();
+        `Ok ()
+      end
       else begin
         let table =
           Stdx.Table.create
@@ -802,6 +836,7 @@ let report_cmd =
         if !rounds_seen > 0 then
           Printf.printf " (%d round events)" !rounds_seen;
         Printf.printf "\n";
+        print_hunt ();
         if List.length recovered = List.length rows then `Ok ()
         else
           `Error
@@ -811,6 +846,286 @@ let report_cmd =
       end
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ file_arg))
+
+(* ------------------------------------------------------------------ *)
+(* hunt: adversarial schedule fuzzing with shrinking and a corpus.     *)
+
+let hunt_cmd =
+  let doc =
+    "Hunt for adversarial fault schedules: a seed-replayable fuzzer \
+     generates random chaos schedules (plus structured mutations), scores \
+     each by badness (failed re-stabilisation, then recovery vs the \
+     Theorem 1 bound, then clamped events), and shrinks every hit to a \
+     minimal reproducer. Hits are written to a JSONL corpus with \
+     --corpus; --replay re-executes a corpus as a regression gate and \
+     exits non-zero if any entry stops reproducing. The hunt is \
+     bit-identical at any --jobs/--schedule setting."
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algorithm" ] ~docv:"SPEC"
+          ~doc:
+            "Hunt a small explicit algorithm (trivial:C or leader:N:C) \
+             instead of a planned tower.")
+  in
+  let claim_f_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "claim-f" ] ~docv:"F"
+          ~doc:
+            "Override the spec's claimed resilience to $(docv) before \
+             hunting — deliberately over-claiming gives the hunter a \
+             genuine counterexample to find and shrink.")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound" ] ~docv:"T"
+          ~doc:
+            "Stabilisation-time bound recoveries are scored against \
+             (default: the planner's Theorem 1 bound; --algorithm specs \
+             have no bound unless this is given).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"Fuzzing trials; all trial seeds derive from --hunt-seed.")
+  in
+  let phases_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "phases" ] ~docv:"P" ~doc:"Phases per generated schedule.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "events" ] ~docv:"E"
+          ~doc:"Transient corruption events per generated schedule.")
+  in
+  let max_victims_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-victims" ] ~docv:"K"
+          ~doc:"Max correct nodes corrupted per transient event.")
+  in
+  let mutations_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "mutations" ] ~docv:"M"
+          ~doc:
+            "Each trial applies 0..$(docv) structured mutations on top of \
+             its random schedule.")
+  in
+  let near_bound_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "near-bound" ] ~docv:"R"
+          ~doc:
+            "Treat recoveries at or above fraction $(docv) of the bound \
+             as near-bound hits.")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Max candidate executions while shrinking one hit.")
+  in
+  let hunt_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "hunt-seed" ] ~docv:"S"
+          ~doc:
+            "Master fuzzing seed; equal seeds (and parameters) give \
+             byte-identical hunts and corpora.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Write every shrunk reproducer to $(docv), one JSON line each.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay the corpus at $(docv) instead of hunting: re-execute \
+             every entry and check it reproduces its recorded badness \
+             exactly.")
+  in
+  let run levels corollary1 modulus algo claim_f bound trials phases events
+      max_victims mutations shrink_budget near_bound hunt_seed corpus
+      replay_path opts =
+    let resolved =
+      match algo with
+      | Some s -> (
+        match parse_algo s with
+        | Some p -> Ok (p, bound)
+        | None ->
+          Error (`Msg "unknown algorithm spec (trivial:C or leader:N:C)"))
+      | None -> (
+        match plan_tower levels corollary1 modulus with
+        | Error e -> Error e
+        | Ok tower ->
+          let time_bound =
+            match bound with
+            | Some b -> Some b
+            | None -> Some (Counting.Plan.top tower).Counting.Plan.time_bound
+          in
+          Ok (Counting.Build.tower tower, time_bound))
+    in
+    match resolved with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok (Algo.Spec.Packed spec, time_bound) -> (
+      let analyse () =
+        let spec =
+          match claim_f with
+          | Some f -> Algo.Combinators.with_claimed_resilience spec ~f
+          | None -> spec
+        in
+        (* The one adversary registry: schedules are generated from it,
+           corpus entries name strategies by it, and replay resolves
+           against it — so a corpus written here always reads here. *)
+        let adversaries =
+          Sim.Adversary.standard_suite ()
+          @ [ Sim.Adversary.greedy_confusion ~pool:2 () ]
+        in
+        let meta =
+          Sim.Trace.Meta
+            {
+              label = spec.Algo.Spec.name;
+              n = spec.Algo.Spec.n;
+              f = spec.Algo.Spec.f;
+              c = spec.Algo.Spec.c;
+              time_bound;
+            }
+        in
+        match replay_path with
+        | Some path -> (
+          let ic = open_in path in
+          let parsed =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> Sim.Hunt.Corpus.read ~adversaries ic)
+          in
+          match parsed with
+          | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+          | Ok [] -> `Error (false, Printf.sprintf "%s: empty corpus" path)
+          | Ok entries ->
+            let results =
+              with_telemetry ~meta opts @@ fun ~metrics ~trace ->
+              Sim.Hunt.Corpus.replay ?metrics ?trace ~jobs:opts.jobs
+                ?schedule:opts.schedule ~spec ~entries ()
+            in
+            let diverged = ref 0 in
+            List.iter
+              (fun ((e : _ Sim.Hunt.Corpus.entry), b, reproduced) ->
+                Printf.printf
+                  "trial %d [%s]: recorded score %.17g, replayed %.17g — %s\n"
+                  e.Sim.Hunt.Corpus.trial
+                  (Sim.Hunt.cls_to_string e.Sim.Hunt.Corpus.cls)
+                  (Sim.Hunt.score e.Sim.Hunt.Corpus.badness)
+                  (Sim.Hunt.score b)
+                  (if reproduced then "reproduced" else "DIVERGED");
+                if not reproduced then incr diverged)
+              results;
+            Printf.printf "%d/%d corpus entries reproduced\n"
+              (List.length results - !diverged)
+              (List.length results);
+            if !diverged = 0 then `Ok ()
+            else
+              `Error
+                ( false,
+                  Printf.sprintf "%d corpus entr%s did not reproduce"
+                    !diverged
+                    (if !diverged = 1 then "y" else "ies") ))
+        | None ->
+          let phase_rounds = Option.value opts.rounds ~default:400 in
+          let run_seed =
+            match opts.seeds with Some (s :: _) -> s | _ -> 1
+          in
+          let config =
+            let open Sim.Hunt.Config in
+            let cfg =
+              default |> with_trials trials |> with_phases phases
+              |> with_events events |> with_max_victims max_victims
+              |> with_mutations mutations |> with_seed hunt_seed
+              |> with_run_seed run_seed |> with_phase_rounds phase_rounds
+              |> with_near_bound near_bound
+              |> with_shrink_budget shrink_budget
+              |> with_jobs opts.jobs
+            in
+            let cfg =
+              match time_bound with
+              | Some b -> with_time_bound b cfg
+              | None -> cfg
+            in
+            let cfg =
+              match opts.schedule with
+              | Some s -> with_schedule s cfg
+              | None -> cfg
+            in
+            match opts.min_suffix with
+            | Some m -> with_min_suffix m cfg
+            | None -> cfg
+          in
+          let report =
+            with_telemetry ~meta opts @@ fun ~metrics ~trace ->
+            Sim.Hunt.run ?metrics ?trace ~config ~spec ~adversaries ()
+          in
+          Printf.printf "%s\n" spec.Algo.Spec.name;
+          Printf.printf "%d trial(s), %d execution(s), %d hit(s)\n"
+            report.Sim.Hunt.trials report.Sim.Hunt.executions
+            (List.length report.Sim.Hunt.hits);
+          List.iter
+            (fun (h : _ Sim.Hunt.hit) ->
+              Printf.printf
+                "  trial %d [%s]: score %.17g, size %d -> %d (%d shrink \
+                 step(s), %d kept)\n    %s\n"
+                h.Sim.Hunt.trial
+                (Sim.Hunt.cls_to_string h.Sim.Hunt.cls)
+                (Sim.Hunt.score h.Sim.Hunt.badness)
+                h.Sim.Hunt.original_size h.Sim.Hunt.size
+                h.Sim.Hunt.shrink_steps h.Sim.Hunt.shrink_kept
+                (Sim.Schedule.describe h.Sim.Hunt.schedule))
+            report.Sim.Hunt.hits;
+          (match report.Sim.Hunt.worst with
+          | Some w ->
+            Printf.printf "worst: trial %d, score %.17g\n" w.Sim.Hunt.trial
+              (Sim.Hunt.score w.Sim.Hunt.badness)
+          | None -> ());
+          (match corpus with
+          | Some path ->
+            let entries = Sim.Hunt.Corpus.of_report ~spec ~hunt_seed report in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Sim.Hunt.Corpus.write oc entries);
+            Printf.printf "wrote %d corpus entr%s to %s\n"
+              (List.length entries)
+              (if List.length entries = 1 then "y" else "ies")
+              path
+          | None -> ());
+          `Ok ()
+      in
+      match analyse () with
+      | exception Invalid_argument m -> `Error (false, m)
+      | r -> r)
+  in
+  Cmd.v (Cmd.info "hunt" ~doc)
+    Term.(
+      ret
+        (const run $ levels_arg $ corollary_f_arg $ modulus_arg $ algo_arg
+       $ claim_f_arg $ bound_arg $ trials_arg $ phases_arg $ events_arg
+       $ max_victims_arg $ mutations_arg $ shrink_budget_arg $ near_bound_arg
+       $ hunt_seed_arg $ corpus_arg $ replay_arg $ sweep_flags))
 
 let adversaries_cmd =
   let doc = "List the available adversary strategies." in
@@ -830,6 +1145,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            plan_cmd; run_cmd; chaos_cmd; verify_cmd; report_cmd;
+            plan_cmd; run_cmd; chaos_cmd; hunt_cmd; verify_cmd; report_cmd;
             adversaries_cmd;
           ]))

@@ -26,6 +26,14 @@ done
 REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.metrics' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.telemetry' -q
 
+# The hunt's determinism contract (byte-identical corpus at any jobs
+# count) and the committed regression corpus, with real concurrency:
+# sim.hunt re-runs its fixed-seed hunt at REPRO_JOBS under every
+# claiming policy; sim.hunt.corpus replays test/corpus/*.jsonl at
+# jobs 1 and REPRO_JOBS.
+REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.hunt' -q
+REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.hunt.corpus' -q
+
 # Chaos smoke: a fixed-seed campaign on A(4,1) must re-stabilise after
 # every scheduled perturbation (countctl exits non-zero otherwise), and
 # must do so identically across worker domains. The emitted trace must
@@ -37,6 +45,24 @@ dune exec bin/countctl.exe -- chaos --corollary1 1 --campaigns 2 \
 dune exec bin/countctl.exe -- report "$trace_file" > /dev/null
 dune exec bin/jsonlint.exe -- --jsonl "$trace_file"
 rm -f "$trace_file"
+
+# Hunt smoke: a fixed-seed hunt against a deliberately over-claimed
+# spec (follow-leader claims f=1 but tolerates none) must find failed
+# re-stabilisations, shrink them, and write a corpus that lints as
+# JSONL and replays to the recorded verdicts under parallel workers.
+corpus_file="$(mktemp)"
+dune exec bin/countctl.exe -- hunt --algorithm leader:4:5 --claim-f 1 \
+  --bound 8 --trials 48 --rounds 120 --jobs 2 \
+  --corpus "$corpus_file" > /dev/null
+dune exec bin/jsonlint.exe -- --jsonl "$corpus_file"
+dune exec bin/countctl.exe -- hunt --algorithm leader:4:5 --claim-f 1 \
+  --replay "$corpus_file" --jobs 4 > /dev/null
+rm -f "$corpus_file"
+
+# The committed regression corpus must keep replaying through countctl
+# too (the test suite already replays it in-process).
+dune exec bin/countctl.exe -- hunt --algorithm leader:4:5 --claim-f 1 \
+  --replay test/corpus/leader4c5_f1.jsonl --jobs 4 > /dev/null
 
 # Regenerate the chaos recovery distributions so the JSON lint below
 # covers a fresh BENCH_chaos.json.
@@ -54,10 +80,14 @@ dune exec bench/main.exe -- engine > /dev/null
 # configuration's outcomes diverge from the sequential reference.
 dune exec bench/main.exe -- parallel > /dev/null
 
+# Regenerate the hunt record with real workers; the bench exits
+# non-zero if the corpus bytes differ between jobs=1 and parallel.
+REPRO_JOBS=4 dune exec bench/main.exe -- hunt > /dev/null
+
 # The bench logs must always be well-formed JSON (the at_exit flush is
 # crash-safe; a malformed file means that guarantee broke).
 for log in BENCH_sweep.json BENCH_parallel.json BENCH_chaos.json \
-           BENCH_engine.json; do
+           BENCH_engine.json BENCH_hunt.json; do
   if [ -f "$log" ]; then
     dune exec bin/jsonlint.exe -- "$log"
   fi

@@ -280,6 +280,89 @@ module Chaos = struct
     total_rounds_simulated : int;
   }
 
+  let aggregate_outcomes outcomes =
+    let recoveries =
+      List.concat_map
+        (fun o ->
+          List.filter_map
+            (fun (r : Engine.phase_report) -> r.Engine.recovery)
+            o.phases)
+        outcomes
+    in
+    let phase_verdicts =
+      List.fold_left (fun acc o -> acc + List.length o.phases) 0 outcomes
+    in
+    let phase_failures = phase_verdicts - List.length recoveries in
+    let all_recovered = outcomes <> [] && phase_failures = 0 in
+    let worst_recovery =
+      if all_recovered && recoveries <> [] then
+        Some (List.fold_left max 0 recoveries)
+      else None
+    in
+    let pct p =
+      if recoveries = [] then None
+      else Some (Stdx.Stats.percentile p (List.map float_of_int recoveries))
+    in
+    {
+      outcomes;
+      all_recovered;
+      phase_verdicts;
+      phase_failures;
+      recoveries;
+      worst_recovery;
+      recovery_p50 = pct 0.5;
+      recovery_p90 = pct 0.9;
+      total_rounds_simulated =
+        List.fold_left (fun acc o -> acc + o.rounds_simulated) 0 outcomes;
+    }
+
+  (* One executed cell of a chaos-shaped pool: run the schedule, fold
+     the phase reports into an [outcome], capture the private telemetry
+     sinks. Shared by [run] (generated schedules) and [replay] (corpus
+     schedules). *)
+  let run_cell ~mode ~min_suffix ~spec ~want_metrics ~trace_level ~instrumented
+      ~schedule_seed ~schedule ~run_seed () =
+    let cell_m = if want_metrics then Some (Stdx.Metrics.create ()) else None in
+    let cell_tr =
+      if trace_level = Trace.Off then Trace.null
+      else Trace.memory ~level:trace_level ()
+    in
+    let t0 = if instrumented then Stdx.Metrics.wall_clock () else 0.0 in
+    let o =
+      Engine.run_schedule ?metrics:cell_m ~tracer:cell_tr ~mode ?min_suffix
+        ~spec ~schedule ~seed:run_seed ()
+    in
+    let wall = if instrumented then Stdx.Metrics.wall_clock () -. t0 else 0.0 in
+    let phases = o.Engine.phases in
+    let recovered =
+      List.for_all
+        (fun (r : Engine.phase_report) -> r.Engine.recovery <> None)
+        phases
+    in
+    let worst_recovery =
+      if recovered then
+        Some
+          (List.fold_left
+             (fun acc (r : Engine.phase_report) ->
+               match r.Engine.recovery with Some v -> max acc v | None -> acc)
+             0 phases)
+      else None
+    in
+    let outcome =
+      {
+        schedule_seed;
+        schedule = Schedule.describe schedule;
+        run_seed;
+        phases;
+        recovered;
+        worst_recovery;
+        rounds_simulated = o.Engine.rounds_simulated;
+        horizon = o.Engine.horizon;
+      }
+    in
+    (outcome, Option.map Stdx.Metrics.snapshot cell_m, Trace.events cell_tr,
+     wall)
+
   let run ?metrics ?trace ?(config = Config.default)
       ~(spec : 's Algo.Spec.t) ~adversaries () =
     let {
@@ -352,52 +435,8 @@ module Chaos = struct
             schedules.(i / num_seeds)
           in
           let run_seed = seeds.(i mod num_seeds) in
-          let cell_m =
-            if want_metrics then Some (Stdx.Metrics.create ()) else None
-          in
-          let cell_tr =
-            if trace_level = Trace.Off then Trace.null
-            else Trace.memory ~level:trace_level ()
-          in
-          let t0 = if instrumented then Stdx.Metrics.wall_clock () else 0.0 in
-          let o =
-            Engine.run_schedule ?metrics:cell_m ~tracer:cell_tr ~mode
-              ~min_suffix ~spec ~schedule ~seed:run_seed ()
-          in
-          let wall =
-            if instrumented then Stdx.Metrics.wall_clock () -. t0 else 0.0
-          in
-          let phases = o.Engine.phases in
-          let recovered =
-            List.for_all
-              (fun (r : Engine.phase_report) -> r.Engine.recovery <> None)
-              phases
-          in
-          let worst_recovery =
-            if recovered then
-              Some
-                (List.fold_left
-                   (fun acc (r : Engine.phase_report) ->
-                     match r.Engine.recovery with
-                     | Some v -> max acc v
-                     | None -> acc)
-                   0 phases)
-            else None
-          in
-          let outcome =
-            {
-              schedule_seed;
-              schedule = Schedule.describe schedule;
-              run_seed;
-              phases;
-              recovered;
-              worst_recovery;
-              rounds_simulated = o.Engine.rounds_simulated;
-              horizon = o.Engine.horizon;
-            }
-          in
-          (outcome, Option.map Stdx.Metrics.snapshot cell_m,
-           Trace.events cell_tr, wall))
+          run_cell ~mode ~min_suffix:(Some min_suffix) ~spec ~want_metrics
+            ~trace_level ~instrumented ~schedule_seed ~schedule ~run_seed ())
     in
     merge_cells ?metrics ?trace ~wall_metric:"chaos.cell_wall_s"
       ~cells_metric:"chaos.cells"
@@ -406,43 +445,56 @@ module Chaos = struct
         Printf.sprintf "campaign %d seed %d" schedule_seed
           seeds.(i mod num_seeds))
       results;
-    let outcomes =
-      Array.to_list (Array.map (fun (o, _, _, _) -> o) results)
+    aggregate_outcomes
+      (Array.to_list (Array.map (fun (o, _, _, _) -> o) results))
+
+  (* Corpus mode: re-execute recorded (schedule, run seed, min-suffix
+     request) triples — e.g. hunt reproducers — through the same pool
+     machinery. Each entry is fully keyed by its own contents, so the
+     aggregate is identical at any [jobs]/[schedule]; [schedule_seed] in
+     the outcomes is the entry's index in [entries]. *)
+  let replay ?metrics ?trace ?(jobs = 1) ?schedule
+      ?(mode = Engine.Streaming) ~(spec : 's Algo.Spec.t) ~entries () =
+    if entries = [] then invalid_arg "Harness.Chaos.replay: no entries";
+    let entries = Array.of_list entries in
+    (* Validate every schedule before the pool so a broken corpus fails
+       with the offending entry index rather than a worker exception. *)
+    Array.iteri
+      (fun i (sched, _, _) ->
+        try ignore (Schedule.validate ~spec sched)
+        with Invalid_argument msg ->
+          invalid_arg (Printf.sprintf "Harness.Chaos.replay: entry %d: %s" i msg))
+      entries;
+    let n = spec.Algo.Spec.n in
+    let entry_cost i =
+      let sched, _, _ = entries.(i) in
+      default_cell_cost ~n (Schedule.total_rounds sched)
     in
-    let recoveries =
-      List.concat_map
-        (fun o ->
-          List.filter_map
-            (fun (r : Engine.phase_report) -> r.Engine.recovery)
-            o.phases)
-        outcomes
+    let pool_schedule =
+      match schedule with
+      | Some (Stdx.Pool.Chunked_auto None) ->
+        Stdx.Pool.Chunked_auto (Some entry_cost)
+      | Some s -> s
+      | None -> Stdx.Pool.Cost_sorted entry_cost
     in
-    let phase_verdicts =
-      List.fold_left (fun acc o -> acc + List.length o.phases) 0 outcomes
+    let trace_level = cell_trace_level trace in
+    let want_metrics = metrics <> None in
+    let instrumented = want_metrics || trace_level <> Trace.Off in
+    let results =
+      Stdx.Pool.exec ~jobs ~schedule:pool_schedule
+        ?stats:(pool_stats_sink metrics) (Array.length entries) (fun i ->
+          let sched, run_seed, min_suffix = entries.(i) in
+          run_cell ~mode ~min_suffix ~spec ~want_metrics ~trace_level
+            ~instrumented ~schedule_seed:i ~schedule:sched ~run_seed ())
     in
-    let phase_failures = phase_verdicts - List.length recoveries in
-    let all_recovered = outcomes <> [] && phase_failures = 0 in
-    let worst_recovery =
-      if all_recovered && recoveries <> [] then
-        Some (List.fold_left max 0 recoveries)
-      else None
-    in
-    let pct p =
-      if recoveries = [] then None
-      else Some (Stdx.Stats.percentile p (List.map float_of_int recoveries))
-    in
-    {
-      outcomes;
-      all_recovered;
-      phase_verdicts;
-      phase_failures;
-      recoveries;
-      worst_recovery;
-      recovery_p50 = pct 0.5;
-      recovery_p90 = pct 0.9;
-      total_rounds_simulated =
-        List.fold_left (fun acc o -> acc + o.rounds_simulated) 0 outcomes;
-    }
+    merge_cells ?metrics ?trace ~wall_metric:"chaos.cell_wall_s"
+      ~cells_metric:"chaos.cells"
+      ~label:(fun i ->
+        let _, run_seed, _ = entries.(i) in
+        Printf.sprintf "corpus %d seed %d" i run_seed)
+      results;
+    aggregate_outcomes
+      (Array.to_list (Array.map (fun (o, _, _, _) -> o) results))
 
   let pp_aggregate ppf agg =
     Format.fprintf ppf "%d runs, %d/%d phase verdicts recovered"

@@ -101,6 +101,37 @@ val resolve_min_suffix : c:int -> rounds:int -> int option -> int
 (** {!Min_suffix.resolve} (kept here for callers of the historical
     name). Raises [Invalid_argument] if [rounds < c]. *)
 
+(** {2 Pool plumbing shared with other grid executors}
+
+    {!Hunt} runs trial grids with exactly the harness's execution
+    discipline; these are the pieces it reuses. *)
+
+val default_cell_cost : n:int -> int -> float
+(** [default_cell_cost ~n horizon] — the harness cost model,
+    [horizon × n²]: one all-to-all message round per simulated round. *)
+
+val pool_stats_sink :
+  Stdx.Metrics.t option -> (Stdx.Pool.stats -> unit) option
+(** Feed a pool execution's per-worker busy seconds into the
+    [pool.worker_busy_s] histogram of the given registry ([None] =
+    no sink). Wall-clock values are the one scheduling-dependent
+    instrument, which is why they ride the {!Stdx.Pool.exec} [stats]
+    side channel and not the deterministic per-cell sinks. *)
+
+val merge_cells :
+  ?metrics:Stdx.Metrics.t ->
+  ?trace:Trace.t ->
+  wall_metric:string ->
+  cells_metric:string ->
+  label:(int -> string) ->
+  ('a * Stdx.Metrics.snapshot option * Trace.event list * float) array ->
+  unit
+(** Fold per-cell telemetry — [(result, metrics snapshot, buffered
+    events, wall seconds)] per cell — into the caller's sinks in
+    cell-index order, bracketing each cell's event stream with
+    [Cell_start]/[Cell_end]. This is what makes merged telemetry
+    identical at any [jobs] count. *)
+
 val run :
   ?metrics:Stdx.Metrics.t ->
   ?trace:Trace.t ->
@@ -220,6 +251,29 @@ module Chaos : sig
       sinks merged/replayed in cell-index order ([chaos.cell_wall_s],
       [chaos.cells]), deterministic at any [jobs] count, inert for the
       outcomes themselves. *)
+
+  val replay :
+    ?metrics:Stdx.Metrics.t ->
+    ?trace:Trace.t ->
+    ?jobs:int ->
+    ?schedule:Stdx.Pool.schedule ->
+    ?mode:Engine.mode ->
+    spec:'s Algo.Spec.t ->
+    entries:('s Schedule.t * int * int option) list ->
+    unit ->
+    aggregate
+  (** Corpus mode: re-execute recorded
+      [(schedule, run seed, min-suffix request)] triples — e.g. the
+      reproducers of a {!Hunt} corpus — through the same pool machinery
+      and aggregation as {!run}. The [schedule_seed] of each outcome is
+      the entry's index in [entries] (outcomes are in entry order).
+      [min_suffix] requests pass straight to {!Engine.run_schedule},
+      which clamps them against each schedule's own horizon — so a
+      recorded request replays to the same effective value. [mode]
+      defaults to [Engine.Streaming]; any [jobs]/[schedule] yields an
+      identical aggregate. Raises [Invalid_argument] on an empty entry
+      list or an entry whose schedule fails {!Schedule.validate}
+      (the message carries the entry index). *)
 
   val pp_aggregate : Format.formatter -> aggregate -> unit
 end

@@ -42,6 +42,9 @@ let validate ~(spec : 's Algo.Spec.t) t =
       t.phases
   in
   let total = total_rounds { t with phases } in
+  if total = 0 then
+    invalid_arg
+      "Schedule.validate: zero-round horizon (every phase has duration 0)";
   List.iter
     (fun e ->
       if e.victims < 0 then
@@ -124,3 +127,263 @@ let describe t =
          (List.map
             (fun e -> Printf.sprintf "t=%d(k=%d)" e.round e.victims)
             evs))
+
+(* ------------------------------------------------------------------ *)
+(* Size metric and shrinking steps (the hunt's shrink lattice)         *)
+(* ------------------------------------------------------------------ *)
+
+let size t =
+  total_rounds t
+  + List.length t.phases
+  + List.fold_left (fun acc p -> acc + List.length p.faulty) 0 t.phases
+  + List.fold_left (fun acc (e : event) -> acc + 1 + e.victims) 0 t.events
+
+let phase_start t i =
+  let rec go acc j = function
+    | [] -> acc
+    | p :: rest -> if j = i then acc else go (acc + p.duration) (j + 1) rest
+  in
+  go 0 0 t.phases
+
+let drop_phase t i =
+  match List.nth_opt t.phases i with
+  | None -> None
+  | Some _ when List.length t.phases < 2 -> None
+  | Some victim ->
+    let start = phase_start t i in
+    let d = victim.duration in
+    let phases = List.filteri (fun j _ -> j <> i) t.phases in
+    (* Events inside the dropped phase go with it; later events shift
+       back by its duration and keep their offset within their phase. *)
+    let events =
+      List.filter_map
+        (fun e ->
+          if e.round < start then Some e
+          else if e.round < start + d then None
+          else Some { e with round = e.round - d })
+        t.events
+    in
+    Some { phases; events }
+
+let halve_duration ?(floor = 1) ?(margin = 0) t i =
+  if floor < 1 then invalid_arg "Schedule.halve_duration: floor < 1";
+  if margin < 0 then invalid_arg "Schedule.halve_duration: margin < 0";
+  match List.nth_opt t.phases i with
+  | None -> None
+  | Some p ->
+    let d' = max floor (p.duration / 2) in
+    if d' >= p.duration then None
+    else begin
+      let start = phase_start t i in
+      let shift = p.duration - d' in
+      (* The shrunk phase keeps only events that still leave [margin]
+         certifiable rounds before its new end (the same clamp [random]
+         applies at generation time); the rest are dropped rather than
+         silently squeezed against the boundary. *)
+      let cut = d' - 2 - margin in
+      let phases =
+        List.mapi
+          (fun j q -> if j = i then { q with duration = d' } else q)
+          t.phases
+      in
+      let events =
+        List.filter_map
+          (fun e ->
+            if e.round < start then Some e
+            else if e.round < start + p.duration then
+              if e.round - start <= cut then Some e else None
+            else Some { e with round = e.round - shift })
+          t.events
+      in
+      Some { phases; events }
+    end
+
+let drop_event t j =
+  match List.nth_opt t.events j with
+  | None -> None
+  | Some _ -> Some { t with events = List.filteri (fun k _ -> k <> j) t.events }
+
+let halve_victims t j =
+  match List.nth_opt t.events j with
+  | None -> None
+  | Some e when e.victims <= 1 -> None
+  | Some e ->
+    Some
+      {
+        t with
+        events =
+          List.mapi
+            (fun k e' -> if k = j then { e' with victims = e.victims / 2 } else e')
+            t.events;
+      }
+
+let drop_faulty t ~phase ~index =
+  match List.nth_opt t.phases phase with
+  | None -> None
+  | Some p -> (
+    match List.nth_opt p.faulty index with
+    | None -> None
+    | Some _ ->
+      let faulty = List.filteri (fun k _ -> k <> index) p.faulty in
+      Some
+        {
+          t with
+          phases =
+            List.mapi
+              (fun j q -> if j = phase then { q with faulty } else q)
+              t.phases;
+        })
+
+(* ------------------------------------------------------------------ *)
+(* Structured mutations (the hunt's generation pressure)               *)
+(* ------------------------------------------------------------------ *)
+
+let clamped_events ~n t =
+  let correct_at round =
+    let rec go start = function
+      | [] -> n
+      | p :: rest ->
+        if round < start + p.duration then n - List.length p.faulty
+        else go (start + p.duration) rest
+    in
+    go 0 t.phases
+  in
+  List.fold_left
+    (fun acc (e : event) ->
+      if e.victims > correct_at e.round then acc + 1 else acc)
+    0 t.events
+
+let mutate ~(spec : 's Algo.Spec.t) ~adversaries ?(max_victims = 2)
+    ?(event_margin = 0) ~rng t =
+  if adversaries = [] then invalid_arg "Schedule.mutate: no adversaries";
+  if max_victims < 1 then invalid_arg "Schedule.mutate: max_victims < 1";
+  if event_margin < 0 then invalid_arg "Schedule.mutate: event_margin < 0";
+  let n = spec.Algo.Spec.n and f = spec.Algo.Spec.f in
+  let num_phases = List.length t.phases in
+  let pick_phase () = Stdx.Rng.int rng num_phases in
+  let with_phase i g =
+    { t with phases = List.mapi (fun j p -> if j = i then g p else p) t.phases }
+  in
+  let clamp_to_phase round =
+    let rec find start = function
+      | [] -> round
+      | p :: rest ->
+        if round < start + p.duration then
+          max start (min round (start + p.duration - 2 - event_margin))
+        else find (start + p.duration) rest
+    in
+    find 0 t.phases
+  in
+  let mutated =
+    match Stdx.Rng.int rng 6 with
+    | 0 ->
+      (* saturate one phase's faulty set to full resilience *)
+      let size = min f n in
+      let faulty = Stdx.Rng.sample_without_replacement rng size n in
+      with_phase (pick_phase ()) (fun p -> { p with faulty })
+    | 1 ->
+      (* swap one phase's adversary *)
+      let adversary = Stdx.Rng.pick_list rng adversaries in
+      with_phase (pick_phase ()) (fun p -> { p with adversary })
+    | 2 ->
+      (* align one event with a phase entry, stacking the transient
+         corruption on the phase-boundary perturbation *)
+      (match t.events with
+      | [] -> t
+      | events ->
+        let j = Stdx.Rng.int rng (List.length events) in
+        let i = pick_phase () in
+        let round = clamp_to_phase (phase_start t i) in
+        {
+          t with
+          events =
+            List.mapi (fun k e -> if k = j then { e with round } else e) events;
+        })
+    | 3 ->
+      (* double one event's victim count (capped at max_victims) *)
+      (match t.events with
+      | [] -> t
+      | events ->
+        let j = Stdx.Rng.int rng (List.length events) in
+        {
+          t with
+          events =
+            List.mapi
+              (fun k e ->
+                if k = j then
+                  { e with victims = max e.victims (min (2 * e.victims) max_victims) }
+                else e)
+              events;
+        })
+    | 4 ->
+      (* add a fresh event at a margin-respecting random round *)
+      let total = total_rounds t in
+      let round = clamp_to_phase (Stdx.Rng.int rng total) in
+      let victims = 1 + Stdx.Rng.int rng max_victims in
+      { t with events = t.events @ [ { round; victims } ] }
+    | _ ->
+      (* uniform pressure: every phase attacked by the same strategy *)
+      let adversary = Stdx.Rng.pick_list rng adversaries in
+      { t with phases = List.map (fun p -> { p with adversary }) t.phases }
+  in
+  validate ~spec mutated
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip (corpus entries are self-describing)                *)
+(* ------------------------------------------------------------------ *)
+
+let ints_json l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let to_json t =
+  let phase p =
+    Printf.sprintf "{\"adversary\":\"%s\",\"faulty\":%s,\"duration\":%d}"
+      (Stdx.Json.escape (Adversary.name p.adversary))
+      (ints_json p.faulty) p.duration
+  in
+  let event (e : event) =
+    Printf.sprintf "{\"round\":%d,\"victims\":%d}" e.round e.victims
+  in
+  Printf.sprintf "{\"phases\":[%s],\"events\":[%s]}"
+    (String.concat "," (List.map phase t.phases))
+    (String.concat "," (List.map event t.events))
+
+let of_json_value ~adversaries j =
+  if adversaries = [] then invalid_arg "Schedule.of_json_value: no adversaries";
+  let registry = List.map (fun a -> (Adversary.name a, a)) adversaries in
+  let resolve name =
+    match List.assoc_opt name registry with
+    | Some a -> a
+    | None ->
+      raise
+        (Stdx.Json.Parse_error
+           (Printf.sprintf "unknown adversary %S (known: %s)" name
+              (String.concat ", " (List.map fst registry))))
+  in
+  let phase pj =
+    {
+      adversary =
+        resolve (Stdx.Json.to_string "adversary" (Stdx.Json.field pj "adversary"));
+      faulty = Stdx.Json.to_ints "faulty" (Stdx.Json.field pj "faulty");
+      duration = Stdx.Json.to_int "duration" (Stdx.Json.field pj "duration");
+    }
+  in
+  let event ej =
+    {
+      round = Stdx.Json.to_int "round" (Stdx.Json.field ej "round");
+      victims = Stdx.Json.to_int "victims" (Stdx.Json.field ej "victims");
+    }
+  in
+  {
+    phases =
+      List.map phase (Stdx.Json.to_list "phases" (Stdx.Json.field j "phases"));
+    events =
+      List.map event (Stdx.Json.to_list "events" (Stdx.Json.field j "events"));
+  }
+
+let of_json ~adversaries s =
+  match Stdx.Json.parse s with
+  | exception Stdx.Json.Parse_error msg -> Error msg
+  | j -> (
+    match of_json_value ~adversaries j with
+    | t -> Ok t
+    | exception Stdx.Json.Parse_error msg -> Error msg)

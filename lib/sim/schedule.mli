@@ -83,3 +83,91 @@ val random :
 val describe : 's t -> string
 (** One-line human/JSON-friendly rendering:
     ["3 phases / 810 rounds: stuck f=[1;3] x300 | ... ; events t=120(k=2), ..."]. *)
+
+(** {2 Size metric and shrinking steps}
+
+    The hunt's ({!Hunt}) shrink lattice: each step either removes a
+    structural element or halves a quantity, so every applicable step is
+    {e strictly smaller} under {!size} — a greedy shrink terminates.
+    Steps only maintain structural invariants; callers re-validate the
+    result against a spec (a step can, e.g., leave an empty-horizon
+    suffix that {!validate} rejects). All steps return [None] when they
+    do not apply (index out of range, nothing left to shrink). *)
+
+val size : 's t -> int
+(** The shrink ordering: [total_rounds + #phases + Σ|faulty| +
+    Σ(1 + victims)]. Every applicable shrink step strictly decreases
+    it. *)
+
+val phase_start : 's t -> int -> int
+(** Global round at which phase [i] begins (sum of earlier durations). *)
+
+val drop_phase : 's t -> int -> 's t option
+(** Remove phase [i] (never the last remaining phase). Events inside the
+    dropped phase are dropped; later events shift back by its duration,
+    keeping their offset within their own phase. *)
+
+val halve_duration : ?floor:int -> ?margin:int -> 's t -> int -> 's t option
+(** Halve phase [i]'s duration, not below [floor] (default 1; the hunt
+    passes its certifiability floor so shrunk phases stay long enough to
+    re-stabilise in). Events of the phase that no longer leave [margin]
+    certifiable rounds before the new end are dropped (the same clamp
+    {!random} applies at generation time); later events shift back.
+    [None] if the duration is already at or below the floor. *)
+
+val drop_event : 's t -> int -> 's t option
+(** Remove the [j]-th event. *)
+
+val halve_victims : 's t -> int -> 's t option
+(** Halve the [j]-th event's victim count; [None] at 1 (use
+    {!drop_event} to remove it entirely). *)
+
+val drop_faulty : 's t -> phase:int -> index:int -> 's t option
+(** Remove the [index]-th faulty id of phase [phase]. *)
+
+val clamped_events : n:int -> 's t -> int
+(** How many events ask for more victims than their phase has correct
+    nodes — statically computable, and exactly the events the engine
+    clamps at execution time (the [engine.clamped_events] metric). *)
+
+val mutate :
+  spec:'s Algo.Spec.t ->
+  adversaries:'s Adversary.t list ->
+  ?max_victims:int ->
+  ?event_margin:int ->
+  rng:Stdx.Rng.t ->
+  's t ->
+  's t
+(** One structured mutation, drawn from [rng]: saturate a phase's faulty
+    set to full resilience, swap a phase's adversary, align an event
+    with a phase entry (stacking corruption on the phase-boundary
+    perturbation), double an event's victims (capped at [max_victims],
+    default 2), add a margin-respecting event, or put every phase under
+    one adversary. Mutations that need an event on a schedule without
+    any are identity. The result is validated against [spec]. Equal rng
+    streams yield equal mutations — the hunt derives its per-trial
+    mutation rng from the hunt seed. *)
+
+(** {2 JSON round-trip}
+
+    Corpus entries are self-describing: a schedule serialises to one
+    JSON object with adversaries named by their registry name
+    ({!Adversary.name}), e.g.
+    [{"phases":[{"adversary":"stuck","faulty":[1,3],"duration":420}],
+    "events":[{"round":17,"victims":2}]}]. Loading resolves names
+    against the adversary list the caller supplies and rejects unknown
+    names with the known names in the error. [of_json (to_json t) = t]
+    whenever the registry covers the schedule's adversaries. *)
+
+val to_json : 's t -> string
+(** One-line JSON object (lint-clean under [jsonlint]). *)
+
+val of_json_value :
+  adversaries:'s Adversary.t list -> Stdx.Json.t -> 's t
+(** Decode a parsed JSON value (for embedding schedules in larger
+    objects, like corpus entries). Raises [Stdx.Json.Parse_error] on
+    shape mismatches or unknown adversary names; [Invalid_argument] on
+    an empty registry. *)
+
+val of_json : adversaries:'s Adversary.t list -> string -> ('s t, string) result
+(** Parse one line as written by {!to_json}. *)

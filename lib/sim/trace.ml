@@ -29,9 +29,17 @@ type event =
       stabilized : int option;
       recovery : int option;
     }
+  | Hunt_trial of { trial : int; seed : int; score : float; hit : bool }
+  | Hunt_shrink of {
+      trial : int;
+      steps : int;
+      kept : int;
+      size : int;
+      score : float;
+    }
   | Cell_end of { cell : int; wall_s : float }
 
-(* Events hold ints, int lists, strings and one finite float, so
+(* Events hold ints, int lists, strings and finite floats, so
    structural equality is exact. *)
 let equal_event (a : event) (b : event) = a = b
 
@@ -39,20 +47,7 @@ let equal_event (a : event) (b : event) = a = b
 (* Encoding                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Stdx.Json.escape
 
 let opt_int = function Some v -> string_of_int v | None -> "null"
 let ints l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
@@ -86,6 +81,16 @@ let to_json = function
       "{\"ev\":\"verdict\",\"round\":%d,\"phase\":%d,\"stabilized\":%s,\
        \"recovery\":%s}"
       round phase (opt_int stabilized) (opt_int recovery)
+  | Hunt_trial { trial; seed; score; hit } ->
+    Printf.sprintf
+      "{\"ev\":\"hunt-trial\",\"trial\":%d,\"seed\":%d,\"score\":%.17g,\
+       \"hit\":%b}"
+      trial seed score hit
+  | Hunt_shrink { trial; steps; kept; size; score } ->
+    Printf.sprintf
+      "{\"ev\":\"hunt-shrink\",\"trial\":%d,\"steps\":%d,\"kept\":%d,\
+       \"size\":%d,\"score\":%.17g}"
+      trial steps kept size score
   | Cell_end { cell; wall_s } ->
     Printf.sprintf "{\"ev\":\"cell-end\",\"cell\":%d,\"wall_s\":%.17g}" cell
       wall_s
@@ -138,221 +143,21 @@ let events t =
   | Null | Jsonl _ -> []
 
 (* ------------------------------------------------------------------ *)
-(* Decoding: a minimal JSON value parser (the dual of [to_json]; the
-   syntax-only checker lives in bin/jsonlint)                           *)
+(* Decoding: the dual of [to_json], on the shared Stdx.Json value
+   parser (the syntax-only checker lives in bin/jsonlint)              *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jint of int
-  | Jfloat of float
-  | Jstring of string
-  | Jarray of json list
-  | Jobject of (string * json) list
-
-exception Parse_error of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "byte %d: %s" !pos msg)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word v =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let string_ () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some '"' -> advance (); Buffer.add_char b '"'; go ()
-        | Some '\\' -> advance (); Buffer.add_char b '\\'; go ()
-        | Some '/' -> advance (); Buffer.add_char b '/'; go ()
-        | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
-        | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
-        | Some 'r' -> advance (); Buffer.add_char b '\r'; go ()
-        | Some 'b' -> advance (); Buffer.add_char b '\b'; go ()
-        | Some 'f' -> advance (); Buffer.add_char b '\012'; go ()
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "bad \\u escape";
-          let hex = String.sub s !pos 4 in
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
-          | Some _ -> Buffer.add_string b "?"
-          | None -> fail "bad \\u escape");
-          pos := !pos + 4;
-          go ()
-        | _ -> fail "bad escape")
-      | Some c ->
-        advance ();
-        Buffer.add_char b c;
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let number () =
-    let start = !pos in
-    let is_float = ref false in
-    if peek () = Some '-' then advance ();
-    let digits () =
-      let d0 = !pos in
-      let rec go () =
-        match peek () with
-        | Some '0' .. '9' ->
-          advance ();
-          go ()
-        | _ -> ()
-      in
-      go ();
-      if !pos = d0 then fail "expected digit"
-    in
-    digits ();
-    if peek () = Some '.' then begin
-      is_float := true;
-      advance ();
-      digits ()
-    end;
-    (match peek () with
-    | Some ('e' | 'E') ->
-      is_float := true;
-      advance ();
-      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
-      digits ()
-    | _ -> ());
-    let lit = String.sub s start (!pos - start) in
-    if !is_float then Jfloat (float_of_string lit)
-    else
-      match int_of_string_opt lit with
-      | Some v -> Jint v
-      | None -> Jfloat (float_of_string lit)
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstring (string_ ())
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Jobject []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = string_ () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | _ ->
-            expect '}';
-            List.rev ((k, v) :: acc)
-        in
-        Jobject (members [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Jarray []
-      end
-      else begin
-        let rec elements acc =
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | _ ->
-            expect ']';
-            List.rev (v :: acc)
-        in
-        Jarray (elements [])
-      end
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some ('-' | '0' .. '9') -> number ()
-    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
-    | None -> fail "unexpected end of input"
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing content";
-  v
-
-let field obj name =
-  match obj with
-  | Jobject kvs -> (
-    match List.assoc_opt name kvs with
-    | Some v -> v
-    | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
-  | _ -> raise (Parse_error "expected an object")
-
-let as_int name = function
-  | Jint v -> v
-  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected int" name))
-
-let as_string name = function
-  | Jstring v -> v
-  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected string" name))
-
-let as_float name = function
-  | Jfloat v -> v
-  | Jint v -> float_of_int v
-  | _ -> raise (Parse_error (Printf.sprintf "field %S: expected number" name))
-
-let as_opt_int name = function
-  | Jnull -> None
-  | Jint v -> Some v
-  | _ ->
-    raise (Parse_error (Printf.sprintf "field %S: expected int or null" name))
-
-let as_ints name = function
-  | Jarray vs -> List.map (as_int name) vs
-  | _ ->
-    raise (Parse_error (Printf.sprintf "field %S: expected int array" name))
-
 let of_json line =
-  match parse_json line with
-  | exception Parse_error msg -> Error msg
+  match Stdx.Json.parse line with
+  | exception Stdx.Json.Parse_error msg -> Error msg
   | j -> (
     try
-      let i name = as_int name (field j name) in
-      let str name = as_string name (field j name) in
+      let i name = Stdx.Json.to_int name (Stdx.Json.field j name) in
+      let str name = Stdx.Json.to_string name (Stdx.Json.field j name) in
+      let fl name = Stdx.Json.to_float name (Stdx.Json.field j name) in
+      let b name = Stdx.Json.to_bool name (Stdx.Json.field j name) in
+      let opt_int name = Stdx.Json.to_opt_int name (Stdx.Json.field j name) in
+      let ints name = Stdx.Json.to_ints name (Stdx.Json.field j name) in
       match str "ev" with
       | "meta" ->
         Ok
@@ -362,7 +167,7 @@ let of_json line =
                n = i "n";
                f = i "f";
                c = i "c";
-               time_bound = as_opt_int "time_bound" (field j "time_bound");
+               time_bound = opt_int "time_bound";
              })
       | "cell-start" -> Ok (Cell_start { cell = i "cell"; label = str "label" })
       | "phase-start" ->
@@ -372,21 +177,21 @@ let of_json line =
                round = i "round";
                phase = i "phase";
                adversary = str "adversary";
-               faulty = as_ints "faulty" (field j "faulty");
+               faulty = ints "faulty";
              })
       | "round" -> Ok (Round { round = i "round"; phase = i "phase" })
       | "corruption" ->
-        let victims = as_ints "victims" (field j "victims") in
+        let victims = ints "victims" in
         (* Traces written before the clamp became visible carry no
            "requested" field; those events were never clamped beyond what
            the victims list shows. *)
         let requested =
-          match j with
-          | Jobject kvs when List.mem_assoc "requested" kvs ->
-            as_int "requested" (List.assoc "requested" kvs)
-          | _ -> List.length victims
+          match Stdx.Json.field_opt j "requested" with
+          | Some v -> Stdx.Json.to_int "requested" v
+          | None -> List.length victims
         in
-        Ok (Corruption { round = i "round"; phase = i "phase"; requested; victims })
+        Ok
+          (Corruption { round = i "round"; phase = i "phase"; requested; victims })
       | "detector-reset" ->
         Ok (Detector_reset { round = i "round"; phase = i "phase" })
       | "verdict" ->
@@ -395,15 +200,32 @@ let of_json line =
              {
                round = i "round";
                phase = i "phase";
-               stabilized = as_opt_int "stabilized" (field j "stabilized");
-               recovery = as_opt_int "recovery" (field j "recovery");
+               stabilized = opt_int "stabilized";
+               recovery = opt_int "recovery";
+             })
+      | "hunt-trial" ->
+        Ok
+          (Hunt_trial
+             {
+               trial = i "trial";
+               seed = i "seed";
+               score = fl "score";
+               hit = b "hit";
+             })
+      | "hunt-shrink" ->
+        Ok
+          (Hunt_shrink
+             {
+               trial = i "trial";
+               steps = i "steps";
+               kept = i "kept";
+               size = i "size";
+               score = fl "score";
              })
       | "cell-end" ->
-        Ok
-          (Cell_end
-             { cell = i "cell"; wall_s = as_float "wall_s" (field j "wall_s") })
+        Ok (Cell_end { cell = i "cell"; wall_s = fl "wall_s" })
       | ev -> Error (Printf.sprintf "unknown event kind %S" ev)
-    with Parse_error msg -> Error msg)
+    with Stdx.Json.Parse_error msg -> Error msg)
 
 let read_jsonl ic =
   let rec go lineno acc =

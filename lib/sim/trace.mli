@@ -66,6 +66,23 @@ type event =
       stabilized : int option;  (** [Stabilized s] as [Some s] *)
       recovery : int option;
     }
+  | Hunt_trial of {
+      trial : int;
+      seed : int;  (** the trial's schedule-generation seed *)
+      score : float;  (** scalar badness ([Hunt.score]) of the schedule *)
+      hit : bool;
+    }
+      (** one fuzzer trial evaluated by {!Hunt} — the campaign-level
+          stream (engine seams of the inner runs are not re-emitted) *)
+  | Hunt_shrink of {
+      trial : int;
+      steps : int;  (** shrink candidates executed *)
+      kept : int;  (** candidates accepted (the greedy path length) *)
+      size : int;  (** [Schedule.size] of the final reproducer *)
+      score : float;
+    }
+      (** shrink summary for a hit, emitted after its trial's
+          [Hunt_trial] *)
   | Cell_end of { cell : int; wall_s : float }
 
 val equal_event : event -> event -> bool

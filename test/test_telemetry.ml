@@ -193,6 +193,11 @@ let sample_events : Sim.Trace.event list =
       { round = 60; phase = 0; stabilized = Some 14; recovery = Some 2 };
     Sim.Trace.Verdict
       { round = 60; phase = 1; stabilized = None; recovery = None };
+    Sim.Trace.Hunt_trial { trial = 0; seed = 927364; score = 0.0; hit = false };
+    Sim.Trace.Hunt_trial
+      { trial = 7; seed = 11; score = 1000000.125; hit = true };
+    Sim.Trace.Hunt_shrink
+      { trial = 7; steps = 31; kept = 5; size = 28; score = 1000000.0 };
     Sim.Trace.Cell_end { cell = 0; wall_s = 0.001234 };
     Sim.Trace.Cell_end { cell = 1; wall_s = 0.0 };
   ]
@@ -533,6 +538,68 @@ let test_chaos_telemetry_jobs_determinism () =
       Astring.String.is_infix ~affix:"campaign 1" label
     | _ -> false)
 
+(* Hunt telemetry: the hunt.* counters, per-trial badness histogram and
+   Hunt_trial/Hunt_shrink stream are merged per-cell in trial order, so
+   apart from wall clocks they must be identical at any jobs count. *)
+let hunt_config ~jobs =
+  Sim.Hunt.Config.(
+    default |> with_trials 6 |> with_phases 2 |> with_phase_rounds 60
+    |> with_events 1 |> with_time_bound 8 |> with_shrink_budget 24
+    |> with_jobs jobs)
+
+let test_hunt_telemetry_jobs_determinism () =
+  let at ?schedule jobs =
+    let m = Stdx.Metrics.create () in
+    let tr = Sim.Trace.memory () in
+    let config = hunt_config ~jobs in
+    let config =
+      match schedule with
+      | None -> config
+      | Some s -> Sim.Hunt.Config.with_schedule s config
+    in
+    ignore
+      (Sim.Hunt.run ~metrics:m ~trace:tr ~config ~spec:leader
+         ~adversaries:(Sim.Adversary.standard_suite ())
+         ());
+    (drop_wall (Stdx.Metrics.snapshot m), normalise_wall (Sim.Trace.events tr))
+  in
+  let m1, t1 = at ~schedule:Stdx.Pool.In_order 1 in
+  check Alcotest.bool "hunt counters present" true
+    (List.mem_assoc "hunt.schedules_tried" m1);
+  check Alcotest.bool "one Hunt_trial per trial" true
+    (List.length
+       (List.filter
+          (function Sim.Trace.Hunt_trial _ -> true | _ -> false)
+          t1)
+    = 6);
+  List.iter
+    (fun (label, schedule) ->
+      let mn, tn = at ?schedule parallel_jobs in
+      check Alcotest.bool
+        (Printf.sprintf "metrics identical at jobs=%d policy=%s" parallel_jobs
+           label)
+        true (m1 = mn);
+      check Alcotest.bool
+        (Printf.sprintf "trace identical at jobs=%d policy=%s" parallel_jobs
+           label)
+        true (t1 = tn))
+    telemetry_schedules
+
+(* The hunt's report must not depend on telemetry being on. The two runs
+   share one physical adversary list so the reports' schedules reference
+   physically equal adversary records and polymorphic equality never
+   reaches a closure. *)
+let test_hunt_differential () =
+  let adversaries = Sim.Adversary.standard_suite () in
+  let go ?metrics ?trace () =
+    Sim.Hunt.run ?metrics ?trace ~config:(hunt_config ~jobs:1) ~spec:leader
+      ~adversaries ()
+  in
+  let plain = go () in
+  check Alcotest.bool "hunt report identical with telemetry on" true
+    (plain
+    = go ~metrics:(Stdx.Metrics.create ()) ~trace:(Sim.Trace.memory ()) ())
+
 let suite =
   [
     ( "stdx.metrics",
@@ -573,5 +640,8 @@ let suite =
           test_harness_telemetry_jobs_determinism;
         case "chaos telemetry jobs determinism"
           test_chaos_telemetry_jobs_determinism;
+        case "hunt telemetry jobs determinism"
+          test_hunt_telemetry_jobs_determinism;
+        case "hunt differential: telemetry inert" test_hunt_differential;
       ] );
   ]
