@@ -112,6 +112,10 @@ type sweep_opts = {
       (* None = the harness default (cost-sorted claiming) *)
   trace : string option;
   metrics : bool;
+  spans : bool;
+  heartbeat : float option;
+      (* emission interval in seconds; None = no heartbeat stream *)
+  heartbeat_file : string;
 }
 
 (* --schedule {inorder,cost,chunk:N,chunk:auto}: "cost" maps to None —
@@ -221,24 +225,81 @@ let sweep_flags =
             "Collect engine/harness counters and histograms and print \
              them as a table after the run.")
   in
+  let spans_arg =
+    Arg.(
+      value & flag
+      & info [ "spans" ]
+          ~doc:
+            "Attribute time to engine.craft/step/detect, hunt \
+             trial/shrink and pool busy/claim/idle spans (span.*_s \
+             histograms under --metrics, Span events under --trace). \
+             Sampled; outcomes are bit-identical with or without it.")
+  in
+  let heartbeat_arg =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v && v >= 0.0 -> Ok v
+      | _ -> Error (`Msg "heartbeat interval must be a finite number >= 0")
+    in
+    let secs_conv =
+      Arg.conv ~docv:"SECS" (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+    in
+    Arg.(
+      value
+      & opt (some secs_conv) None
+      & info [ "heartbeat" ] ~docv:"SECS"
+          ~doc:
+            "Append a progress heartbeat line (JSONL) to the heartbeat \
+             file at most every $(docv) seconds, plus one terminal \
+             'final' line; follow it live with `countctl watch'.")
+  in
+  let heartbeat_file_arg =
+    Arg.(
+      value
+      & opt string "heartbeat.jsonl"
+      & info [ "heartbeat-file" ] ~docv:"FILE"
+          ~doc:
+            "Heartbeat stream destination (appended, so chained \
+             campaigns extend one stream); default heartbeat.jsonl.")
+  in
   Term.(
-    const (fun rounds seeds min_suffix jobs schedule trace metrics ->
-        { rounds; seeds; min_suffix; jobs; schedule; trace; metrics })
+    const (fun rounds seeds min_suffix jobs schedule trace metrics spans
+               heartbeat heartbeat_file ->
+        {
+          rounds;
+          seeds;
+          min_suffix;
+          jobs;
+          schedule;
+          trace;
+          metrics;
+          spans;
+          heartbeat;
+          heartbeat_file;
+        })
     $ rounds_arg $ seeds_arg $ min_suffix_arg $ jobs_arg $ schedule_arg
-    $ trace_arg $ metrics_arg)
+    $ trace_arg $ metrics_arg $ spans_arg $ heartbeat_arg
+    $ heartbeat_file_arg)
 
-(* Telemetry plumbing shared by run/verify/chaos: a metrics registry
-   when --metrics was given, a JSONL sink (prefixed with one [Meta]
-   header line) when --trace was given, and the metrics table printed
-   after the wrapped action returns. *)
+(* Telemetry plumbing shared by run/verify/chaos/hunt: a metrics
+   registry when --metrics was given, a JSONL sink (prefixed with one
+   [Meta] header line) when --trace was given, a heartbeat stream
+   (appended to --heartbeat-file, terminal line owned here) when
+   --heartbeat was given, and the metrics table printed after the
+   wrapped action returns. *)
 let with_telemetry ~meta opts
-    (f : metrics:Stdx.Metrics.t option -> trace:Sim.Trace.t option -> 'a) =
+    (f :
+      metrics:Stdx.Metrics.t option ->
+      trace:Sim.Trace.t option ->
+      spans:bool ->
+      heartbeat:Stdx.Heartbeat.t option ->
+      'a) =
   let metrics = if opts.metrics then Some (Stdx.Metrics.create ()) else None in
-  let go trace =
+  let go ~trace ~heartbeat =
     (match trace with
     | Some tr when Sim.Trace.seams_on tr -> Sim.Trace.emit tr meta
     | _ -> ());
-    let r = f ~metrics ~trace in
+    let r = f ~metrics ~trace ~spans:opts.spans ~heartbeat in
     (match metrics with
     | Some m ->
       print_string
@@ -247,13 +308,33 @@ let with_telemetry ~meta opts
     | None -> ());
     r
   in
+  let with_heartbeat k =
+    match opts.heartbeat with
+    | None -> k None
+    | Some interval_s ->
+      let label =
+        match meta with Sim.Trace.Meta { label; _ } -> label | _ -> ""
+      in
+      let oc =
+        open_out_gen [ Open_append; Open_creat ] 0o644 opts.heartbeat_file
+      in
+      let hb = Stdx.Heartbeat.create ~label ~interval_s ~out:oc () in
+      Fun.protect
+        ~finally:(fun () ->
+          (* The harnesses never finish the stream themselves, so a
+             crash still leaves a terminal line behind. *)
+          Stdx.Heartbeat.finish hb;
+          close_out oc)
+        (fun () -> k (Some hb))
+  in
+  with_heartbeat @@ fun heartbeat ->
   match opts.trace with
-  | None -> go None
+  | None -> go ~trace:None ~heartbeat
   | Some path ->
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> go (Some (Sim.Trace.jsonl oc)))
+      (fun () -> go ~trace:(Some (Sim.Trace.jsonl oc)) ~heartbeat)
 
 let faulty_arg =
   let parse s =
@@ -310,7 +391,7 @@ let run_cmd =
                 Some (Counting.Plan.top tower).Counting.Plan.time_bound;
             }
         in
-        with_telemetry ~meta opts @@ fun ~metrics ~trace ->
+        with_telemetry ~meta opts @@ fun ~metrics ~trace ~spans ~heartbeat ->
         (* One independent engine run per seed, spread over the pool;
            output order follows the seed list regardless of --jobs. Like
            the harness sweeps, each seed records telemetry into private
@@ -321,39 +402,72 @@ let run_cmd =
           | Some tr -> Sim.Trace.level tr
         in
         let want_metrics = metrics <> None in
-        let instrumented = want_metrics || trace_level <> Sim.Trace.Off in
+        let want_cell_metrics =
+          want_metrics || spans || heartbeat <> None
+        in
+        let instrumented =
+          want_cell_metrics || trace_level <> Sim.Trace.Off
+        in
+        let seed_arr = Array.of_list seeds in
+        let cell_cost =
+          Sim.Harness.default_cell_cost ~n:spec.Algo.Spec.n rounds
+        in
+        Option.iter
+          (fun hb ->
+            Stdx.Heartbeat.set_totals hb ~cells:(Array.length seed_arr)
+              ~cost:(float_of_int (Array.length seed_arr) *. cell_cost))
+          heartbeat;
+        let pool_stats = ref None in
+        let stats_cb =
+          let base = Sim.Harness.pool_stats_sink metrics in
+          if spans then
+            Some
+              (fun s ->
+                pool_stats := Some s;
+                match base with Some f -> f s | None -> ())
+          else base
+        in
         let results =
           (* Seeds share one spec and horizon, so the cost-sorted
              default degenerates to in-order claiming here; the policy
              flag still selects chunked claiming if asked. *)
-          Stdx.Pool.map ~jobs:opts.jobs ?schedule:opts.schedule
-            (fun seed ->
+          Stdx.Pool.exec ~jobs:opts.jobs
+            ?schedule:opts.schedule ?stats:stats_cb
+            ?on_task:(Sim.Harness.heartbeat_on_task heartbeat)
+            (Array.length seed_arr)
+            (fun i ->
+              let seed = seed_arr.(i) in
               let cell_m =
-                if want_metrics then Some (Stdx.Metrics.create ()) else None
+                if want_cell_metrics then Some (Stdx.Metrics.create ())
+                else None
               in
               let cell_tr =
                 if trace_level = Sim.Trace.Off then Sim.Trace.null
                 else Sim.Trace.memory ~level:trace_level ()
               in
+              let cell_sp = Sim.Harness.span_context ~spans cell_m cell_tr in
               let t0 =
                 if instrumented then Stdx.Metrics.wall_clock () else 0.0
               in
               let o =
-                Sim.Engine.run ?metrics:cell_m ~tracer:cell_tr ~mode
-                  ?min_suffix:opts.min_suffix ~spec ~adversary ~faulty
+                Sim.Engine.run ?metrics:cell_m ~tracer:cell_tr ~spans:cell_sp
+                  ~mode ?min_suffix:opts.min_suffix ~spec ~adversary ~faulty
                   ~rounds ~seed ()
               in
               let wall =
-                if instrumented then Stdx.Metrics.wall_clock () -. t0
+                if instrumented then
+                  Float.max 0.0 (Stdx.Metrics.wall_clock () -. t0)
                 else 0.0
               in
-              ( seed,
-                o,
-                Option.map Stdx.Metrics.snapshot cell_m,
-                Sim.Trace.events cell_tr,
-                wall ))
-            seeds
+              let snap = Option.map Stdx.Metrics.snapshot cell_m in
+              Option.iter
+                (fun hb ->
+                  Stdx.Heartbeat.cell_done ?snapshot:snap
+                    ~rounds:o.Sim.Engine.rounds_simulated ~cost:cell_cost hb)
+                heartbeat;
+              (seed, o, snap, Sim.Trace.events cell_tr, wall))
         in
+        let results = Array.to_list results in
         List.iteri
           (fun i (seed, _, snap, events, wall) ->
             (match (metrics, snap) with
@@ -381,6 +495,7 @@ let run_cmd =
                 (Sim.Trace.Cell_end { cell = i; wall_s = wall })
             | _ -> ())
           results;
+        Sim.Harness.emit_pool_spans ?trace ~spans !pool_stats;
         let outcomes = List.map (fun (s, o, _, _, _) -> (s, o)) results in
         Printf.printf "%s\n" spec.Algo.Spec.name;
         List.iter
@@ -461,8 +576,9 @@ let verify_cmd =
             }
         in
         let agg =
-          with_telemetry ~meta opts (fun ~metrics ~trace ->
-              Sim.Harness.run ?metrics ?trace ~config ~spec
+          with_telemetry ~meta opts
+            (fun ~metrics ~trace ~spans ~heartbeat ->
+              Sim.Harness.run ?metrics ?trace ~spans ?heartbeat ~config ~spec
                 ~adversaries:(Sim.Adversary.hostile_suite ())
                 ())
         in
@@ -569,10 +685,11 @@ let chaos_cmd =
             }
         in
         let analyse () =
-          with_telemetry ~meta opts @@ fun ~metrics ~trace ->
+          with_telemetry ~meta opts
+          @@ fun ~metrics ~trace ~spans ~heartbeat ->
           let agg =
-            Sim.Harness.Chaos.run ?metrics ?trace ~config ~spec ~adversaries
-              ()
+            Sim.Harness.Chaos.run ?metrics ?trace ~spans ?heartbeat ~config
+              ~spec ~adversaries ()
           in
         Printf.printf "%s\n" spec.Algo.Spec.name;
         let last_schedule = ref (-1) in
@@ -613,7 +730,133 @@ let chaos_cmd =
        $ phases_arg $ events_arg $ max_victims_arg $ sweep_flags))
 
 (* ------------------------------------------------------------------ *)
-(* report: offline analysis of a --trace JSONL file.                   *)
+(* Heartbeat stream helpers shared by report and watch.                *)
+
+let read_file_content path = In_channel.with_open_bin path In_channel.input_all
+
+(* Newline-terminated, non-blank lines only: a beat mid-write is picked
+   up whole on the next poll. *)
+let complete_lines content =
+  let rec go acc start =
+    match String.index_from_opt content start '\n' with
+    | None -> List.rev acc
+    | Some i ->
+      let line = String.sub content start (i - start) in
+      go (if String.trim line = "" then acc else line :: acc) (i + 1)
+  in
+  go [] 0
+
+let is_heartbeat_line line =
+  match Stdx.Json.parse_result line with
+  | Error _ -> false
+  | Ok j -> (
+    match Stdx.Json.field_opt j "kind" with
+    | Some (Stdx.Json.String "heartbeat") -> true
+    | _ -> false
+    | exception Stdx.Json.Parse_error _ -> false)
+
+(* The fields of one heartbeat line the human renderings use (the full
+   schema additionally carries per-worker busy seconds, the remaining GC
+   gauges and a whole metrics snapshot). *)
+type hb_view = {
+  hv_label : string;
+  hv_seq : int;
+  hv_final : bool;
+  hv_t_s : float;
+  hv_eta_s : float option;
+  hv_cells_done : int;
+  hv_cells_total : int;
+  hv_cost_done : float;
+  hv_cost_total : float;
+  hv_rounds : int;
+  hv_hits : (string * int) list;
+  hv_workers : int;
+  hv_utilization : float;
+  hv_heap_words : int;
+}
+
+let heartbeat_view line =
+  let open Stdx.Json in
+  let j = parse line in
+  let workers = field j "workers" in
+  let gc = field j "gc" in
+  {
+    hv_label = to_string "label" (field j "label");
+    hv_seq = to_int "seq" (field j "seq");
+    hv_final = to_bool "final" (field j "final");
+    hv_t_s = to_float "t_s" (field j "t_s");
+    hv_eta_s =
+      (match field j "eta_s" with
+      | Null -> None
+      | v -> Some (to_float "eta_s" v));
+    hv_cells_done = to_int "cells_done" (field j "cells_done");
+    hv_cells_total = to_int "cells_total" (field j "cells_total");
+    hv_cost_done = to_float "cost_done" (field j "cost_done");
+    hv_cost_total = to_float "cost_total" (field j "cost_total");
+    hv_rounds = to_int "rounds" (field j "rounds");
+    hv_hits =
+      (match field j "hits" with
+      | Object kvs -> List.map (fun (k, v) -> (k, to_int k v)) kvs
+      | _ -> raise (Parse_error "heartbeat: hits must be an object"));
+    hv_workers = to_int "count" (field workers "count");
+    hv_utilization = to_float "utilization" (field workers "utilization");
+    hv_heap_words = to_int "heap_words" (field gc "heap_words");
+  }
+
+let hb_progress_pct v =
+  if v.hv_cost_total > 0.0 then 100.0 *. v.hv_cost_done /. v.hv_cost_total
+  else if v.hv_cells_total > 0 then
+    100.0 *. float_of_int v.hv_cells_done /. float_of_int v.hv_cells_total
+  else 0.0
+
+let hb_hits_string v =
+  String.concat " "
+    (List.map (fun (cls, n) -> Printf.sprintf "%s=%d" cls n) v.hv_hits)
+
+(* One status line per beat — the follow-mode rendering. *)
+let hb_line v =
+  let b = Buffer.create 96 in
+  if v.hv_label <> "" then Buffer.add_string b (v.hv_label ^ "  ");
+  Buffer.add_string b
+    (Printf.sprintf "beat %d: %d/%d cells (%.1f%%), %d rounds, %.1fs"
+       v.hv_seq v.hv_cells_done v.hv_cells_total (hb_progress_pct v)
+       v.hv_rounds v.hv_t_s);
+  (match v.hv_eta_s with
+  | Some eta -> Buffer.add_string b (Printf.sprintf ", eta %.1fs" eta)
+  | None -> ());
+  if v.hv_workers > 0 then
+    Buffer.add_string b
+      (Printf.sprintf ", %d worker(s) %.0f%% busy" v.hv_workers
+         (100.0 *. v.hv_utilization));
+  if v.hv_hits <> [] then Buffer.add_string b (", hits " ^ hb_hits_string v);
+  if v.hv_final then Buffer.add_string b "  [final]";
+  Buffer.contents b
+
+(* The full status block — watch --once and report on heartbeat files. *)
+let hb_block v =
+  let t = Stdx.Table.create [ "field"; "value" ] in
+  let add k value = Stdx.Table.add_row t [ k; value ] in
+  if v.hv_label <> "" then add "label" v.hv_label;
+  add "status" (if v.hv_final then "final" else "running");
+  add "progress"
+    (Printf.sprintf "%d/%d cells (%.1f%% of modelled cost)" v.hv_cells_done
+       v.hv_cells_total (hb_progress_pct v));
+  add "rounds" (string_of_int v.hv_rounds);
+  add "elapsed" (Printf.sprintf "%.1fs" v.hv_t_s);
+  (match v.hv_eta_s with
+  | Some eta -> add "eta" (Printf.sprintf "%.1fs" eta)
+  | None -> ());
+  if v.hv_workers > 0 then
+    add "workers"
+      (Printf.sprintf "%d, utilization %.0f%%" v.hv_workers
+         (100.0 *. v.hv_utilization));
+  add "gc heap" (Printf.sprintf "%d words" v.hv_heap_words);
+  if v.hv_hits <> [] then add "hits" (hb_hits_string v);
+  Stdx.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* report: offline analysis of a --trace JSONL file (or the latest
+   snapshot of a --heartbeat stream).                                  *)
 
 type report_row = {
   rr_cell : int;
@@ -629,17 +872,48 @@ type report_row = {
 let report_cmd =
   let doc =
     "Analyse a JSONL trace written by --trace: per-phase recovery times \
-     vs the planner's Theorem 1 bound, the corruption timeline, and the \
-     slowest cells."
+     vs the planner's Theorem 1 bound, the corruption timeline, the \
+     span profile (with --spans) and the slowest cells. Heartbeat files \
+     (from --heartbeat) are detected and rendered as their latest \
+     snapshot. --json emits the analysis as one JSON object instead."
   in
   let file_arg =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Trace file (JSONL, from --trace).")
+      & info [] ~docv:"FILE"
+          ~doc:"Trace file (JSONL, from --trace) or heartbeat stream.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the analysis as a single JSON object on stdout \
+             (jsonlint-clean; always exits 0 when the file parses — \
+             failure counts travel in the JSON).")
   in
   let ids l = String.concat ";" (List.map string_of_int l) in
-  let run path =
+  let report_heartbeat ~json path lines =
+    let last = List.nth lines (List.length lines - 1) in
+    match heartbeat_view last with
+    | exception Stdx.Json.Parse_error msg ->
+      `Error (false, Printf.sprintf "%s: %s" path msg)
+    | v ->
+      if json then print_endline last else hb_block v;
+      `Ok ()
+  in
+  let run path json =
+    match
+      match read_file_content path with
+      | exception Sys_error msg -> Error msg
+      | content -> Ok (complete_lines content)
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok [] -> `Error (false, Printf.sprintf "%s: empty file" path)
+    | Ok (first :: _ as lines) when is_heartbeat_line first ->
+      report_heartbeat ~json path lines
+    | Ok _ ->
     let ic = open_in path in
     let parsed =
       Fun.protect
@@ -650,6 +924,8 @@ let report_cmd =
     | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
     | Ok events ->
       let bound = ref None in
+      let meta = ref None in
+      let span_tally : (string, int * float) Hashtbl.t = Hashtbl.create 8 in
       (* Events between Cell_start/Cell_end markers belong to that cell;
          a single-run trace without markers is implicitly cell 0. *)
       let cur_cell = ref 0 in
@@ -686,13 +962,15 @@ let report_cmd =
         (fun (ev : Sim.Trace.event) ->
           match ev with
           | Sim.Trace.Meta { label; n; f; c; time_bound } ->
-            Printf.printf "%s  (n=%d f=%d c=%d" label n f c;
-            (match time_bound with
-            | Some t ->
-              bound := Some t;
-              Printf.printf ", Theorem 1 bound T <= %d" t
-            | None -> ());
-            Printf.printf ")\n"
+            meta := Some (label, n, f, c);
+            (match time_bound with Some t -> bound := Some t | None -> ());
+            if not json then begin
+              Printf.printf "%s  (n=%d f=%d c=%d" label n f c;
+              (match time_bound with
+              | Some t -> Printf.printf ", Theorem 1 bound T <= %d" t
+              | None -> ());
+              Printf.printf ")\n"
+            end
           | Sim.Trace.Cell_start { cell; label } ->
             flush_pending ~end_round:(-1) ~recovery:None;
             cur_cell := cell;
@@ -717,12 +995,113 @@ let report_cmd =
           | Sim.Trace.Hunt_shrink { steps; kept; _ } ->
             hunt_shrink_steps := !hunt_shrink_steps + steps;
             hunt_shrink_kept := !hunt_shrink_kept + kept
+          | Sim.Trace.Span { name; count; wall_s } ->
+            let c0, w0 =
+              Option.value (Hashtbl.find_opt span_tally name) ~default:(0, 0.0)
+            in
+            Hashtbl.replace span_tally name (c0 + count, w0 +. wall_s)
           | Sim.Trace.Cell_end { cell; wall_s } ->
             flush_pending ~end_round:(-1) ~recovery:None;
             walls := (cell, wall_s) :: !walls)
         events;
       flush_pending ~end_round:(-1) ~recovery:None;
       let rows = List.rev !rows in
+      let span_rows =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) span_tally [])
+      in
+      let recovered = List.filter (fun r -> r.rr_recovery <> None) rows in
+      let exceeded =
+        match !bound with
+        | None -> 0
+        | Some b ->
+          List.length
+            (List.filter
+               (fun r ->
+                 match r.rr_recovery with
+                 | Some rec_ -> rec_ > b
+                 | None -> false)
+               rows)
+      in
+      let worst =
+        List.fold_left
+          (fun acc r ->
+            match r.rr_recovery with Some v -> max acc v | None -> acc)
+          0 recovered
+      in
+      let walls_sorted =
+        List.sort (fun (_, a) (_, b) -> compare (b : float) a) !walls
+      in
+      let print_profile () =
+        if span_rows <> [] then begin
+          let is_pool name =
+            String.length name >= 5 && String.sub name 0 5 = "pool."
+          in
+          let engine_rows =
+            List.filter (fun (n, _) -> not (is_pool n)) span_rows
+          in
+          if engine_rows <> [] then begin
+            Printf.printf "\nprofile (spans):\n";
+            let t = Stdx.Table.create [ "span"; "count"; "total_s" ] in
+            List.iter
+              (fun (name, (count, wall)) ->
+                Stdx.Table.add_row t
+                  [ name; string_of_int count; Printf.sprintf "%.6f" wall ])
+              engine_rows;
+            Stdx.Table.print t
+          end;
+          match
+            ( Hashtbl.find_opt span_tally "pool.busy",
+              Hashtbl.find_opt span_tally "pool.claim",
+              Hashtbl.find_opt span_tally "pool.idle" )
+          with
+          | Some (jobs, busy), Some (_, claim), Some (_, idle) ->
+            Printf.printf
+              "pool: %d worker(s), busy %.3fs, claim %.3fs, idle %.3fs\n"
+              jobs busy claim idle
+          | _ -> ()
+        end
+      in
+      let emit_json () =
+        let b = Buffer.create 512 in
+        Buffer.add_string b "{\"kind\":\"report\"";
+        (match !meta with
+        | Some (label, n, f, c) ->
+          Printf.bprintf b ",\"label\":\"%s\",\"n\":%d,\"f\":%d,\"c\":%d"
+            (Stdx.Json.escape label) n f c
+        | None -> ());
+        (match !bound with
+        | Some t -> Printf.bprintf b ",\"bound\":%d" t
+        | None -> Buffer.add_string b ",\"bound\":null");
+        Printf.bprintf b
+          ",\"phases\":%d,\"recovered\":%d,\"failed\":%d,\"exceeded\":%d,\
+           \"worst_recovery\":%d,\"round_events\":%d"
+          (List.length rows) (List.length recovered)
+          (List.length rows - List.length recovered)
+          exceeded worst !rounds_seen;
+        Printf.bprintf b
+          ",\"hunt\":{\"trials\":%d,\"hits\":%d,\"shrink_steps\":%d,\
+           \"shrink_kept\":%d,\"worst_score\":%s}"
+          !hunt_trials !hunt_hits !hunt_shrink_steps !hunt_shrink_kept
+          (if !hunt_worst > neg_infinity then
+             Printf.sprintf "%.17g" !hunt_worst
+           else "null");
+        Printf.bprintf b ",\"spans\":[%s]"
+          (String.concat ","
+             (List.map
+                (fun (name, (count, wall)) ->
+                  Printf.sprintf
+                    "{\"name\":\"%s\",\"count\":%d,\"wall_s\":%.17g}"
+                    (Stdx.Json.escape name) count wall)
+                span_rows));
+        Printf.bprintf b ",\"cells\":[%s]}"
+          (String.concat ","
+             (List.map
+                (fun (cell, wall) ->
+                  Printf.sprintf "{\"cell\":%d,\"wall_s\":%.17g}" cell wall)
+                walls_sorted));
+        print_endline (Buffer.contents b)
+      in
       let print_hunt () =
         if !hunt_trials > 0 then begin
           Printf.printf "hunt: %d trial(s), %d hit(s)" !hunt_trials !hunt_hits;
@@ -734,13 +1113,18 @@ let report_cmd =
           Printf.printf "\n"
         end
       in
-      if rows = [] && !hunt_trials = 0 then
+      if rows = [] && !hunt_trials = 0 && span_rows = [] then
         `Error
           (false, Printf.sprintf "%s: no phase reports in trace" path)
+      else if json then begin
+        emit_json ();
+        `Ok ()
+      end
       else if rows = [] then begin
         (* A hunt campaign trace: no per-phase engine seams, only the
            campaign-level trial/shrink stream. *)
         print_hunt ();
+        print_profile ();
         `Ok ()
       end
       else begin
@@ -788,9 +1172,7 @@ let report_cmd =
                    Printf.sprintf " (clamped from %d)" requested
                  else ""))
             tl);
-        (match
-           List.sort (fun (_, a) (_, b) -> compare (b : float) a) !walls
-         with
+        (match walls_sorted with
         | [] -> ()
         | walls ->
           Printf.printf "\nslowest cells:\n";
@@ -802,27 +1184,6 @@ let report_cmd =
                      (Hashtbl.find_opt labels cell)
                      ~default:""))
             walls);
-        let recovered =
-          List.filter (fun r -> r.rr_recovery <> None) rows
-        in
-        let exceeded =
-          match !bound with
-          | None -> 0
-          | Some b ->
-            List.length
-              (List.filter
-                 (fun r ->
-                   match r.rr_recovery with
-                   | Some rec_ -> rec_ > b
-                   | None -> false)
-                 rows)
-        in
-        let worst =
-          List.fold_left
-            (fun acc r ->
-              match r.rr_recovery with Some v -> max acc v | None -> acc)
-            0 recovered
-        in
         Printf.printf
           "\n%d/%d phase(s) re-stabilised, worst recovery %d round(s)"
           (List.length recovered) (List.length rows) worst;
@@ -836,6 +1197,7 @@ let report_cmd =
         if !rounds_seen > 0 then
           Printf.printf " (%d round events)" !rounds_seen;
         Printf.printf "\n";
+        print_profile ();
         print_hunt ();
         if List.length recovered = List.length rows then `Ok ()
         else
@@ -845,7 +1207,7 @@ let report_cmd =
                 (List.length rows - List.length recovered) )
       end
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ file_arg))
+  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ file_arg $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* hunt: adversarial schedule fuzzing with shrinking and a corpus.     *)
@@ -1020,9 +1382,10 @@ let hunt_cmd =
           | Ok [] -> `Error (false, Printf.sprintf "%s: empty corpus" path)
           | Ok entries ->
             let results =
-              with_telemetry ~meta opts @@ fun ~metrics ~trace ->
-              Sim.Hunt.Corpus.replay ?metrics ?trace ~jobs:opts.jobs
-                ?schedule:opts.schedule ~spec ~entries ()
+              with_telemetry ~meta opts
+              @@ fun ~metrics ~trace ~spans ~heartbeat ->
+              Sim.Hunt.Corpus.replay ?metrics ?trace ~spans ?heartbeat
+                ~jobs:opts.jobs ?schedule:opts.schedule ~spec ~entries ()
             in
             let diverged = ref 0 in
             List.iter
@@ -1077,8 +1440,10 @@ let hunt_cmd =
             | None -> cfg
           in
           let report =
-            with_telemetry ~meta opts @@ fun ~metrics ~trace ->
-            Sim.Hunt.run ?metrics ?trace ~config ~spec ~adversaries ()
+            with_telemetry ~meta opts
+            @@ fun ~metrics ~trace ~spans ~heartbeat ->
+            Sim.Hunt.run ?metrics ?trace ~spans ?heartbeat ~config ~spec
+              ~adversaries ()
           in
           Printf.printf "%s\n" spec.Algo.Spec.name;
           Printf.printf "%d trial(s), %d execution(s), %d hit(s)\n"
@@ -1127,6 +1492,87 @@ let hunt_cmd =
        $ max_victims_arg $ mutations_arg $ shrink_budget_arg $ near_bound_arg
        $ hunt_seed_arg $ corpus_arg $ replay_arg $ sweep_flags))
 
+(* ------------------------------------------------------------------ *)
+(* watch: follow a heartbeat stream live.                              *)
+
+let watch_cmd =
+  let doc =
+    "Follow a heartbeat stream (written by --heartbeat): render each new \
+     beat as a status line until the terminal 'final' line arrives. With \
+     --once, render the latest snapshot and exit immediately \
+     (CI-friendly)."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Heartbeat JSONL file. In follow mode a missing file is \
+             waited for, so the watcher can start before the campaign.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render the latest heartbeat snapshot once and exit.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Poll interval while following (default 1).")
+  in
+  let run path once interval =
+    if not (Float.is_finite interval) || interval <= 0.0 then
+      `Error (false, "--interval must be a finite number > 0")
+    else if once then begin
+      match read_file_content path with
+      | exception Sys_error msg -> `Error (false, msg)
+      | content -> (
+        match List.rev (complete_lines content) with
+        | [] -> `Error (false, Printf.sprintf "%s: no heartbeat lines" path)
+        | last :: _ -> (
+          match heartbeat_view last with
+          | exception Stdx.Json.Parse_error msg ->
+            `Error (false, Printf.sprintf "%s: %s" path msg)
+          | v ->
+            hb_block v;
+            `Ok ()))
+    end
+    else begin
+      (* Tail loop: one status line per fresh complete beat; lines that
+         fail to parse (foreign content in a shared file) are skipped.
+         Stops at the first "final":true line. *)
+      let seen = ref 0 in
+      let finished = ref false in
+      while not !finished do
+        (match read_file_content path with
+        | exception Sys_error _ -> ()
+        | content ->
+          let lines = complete_lines content in
+          let total = List.length lines in
+          if total > !seen then begin
+            List.iteri
+              (fun i line ->
+                if i >= !seen && not !finished then
+                  match heartbeat_view line with
+                  | exception Stdx.Json.Parse_error _ -> ()
+                  | v ->
+                    print_endline (hb_line v);
+                    flush stdout;
+                    if v.hv_final then finished := true)
+              lines;
+            seen := total
+          end);
+        if not !finished then Unix.sleepf interval
+      done;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "watch" ~doc)
+    Term.(ret (const run $ file_arg $ once_arg $ interval_arg))
+
 let adversaries_cmd =
   let doc = "List the available adversary strategies." in
   let run () =
@@ -1146,5 +1592,5 @@ let () =
        (Cmd.group info
           [
             plan_cmd; run_cmd; chaos_cmd; hunt_cmd; verify_cmd; report_cmd;
-            adversaries_cmd;
+            watch_cmd; adversaries_cmd;
           ]))

@@ -26,6 +26,13 @@ done
 REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.metrics' -q
 REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.telemetry' -q
 
+# The live-observability layer's own determinism suite (span streams
+# and heartbeat terminal lines identical at any jobs count / policy)
+# with real concurrency forced.
+REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.span' -q
+REPRO_JOBS=4 dune exec test/main.exe -- test 'stdx.heartbeat' -q
+REPRO_JOBS=4 dune exec test/main.exe -- test 'sim.obs' -q
+
 # The hunt's determinism contract (byte-identical corpus at any jobs
 # count) and the committed regression corpus, with real concurrency:
 # sim.hunt re-runs its fixed-seed hunt at REPRO_JOBS under every
@@ -46,15 +53,36 @@ dune exec bin/countctl.exe -- report "$trace_file" > /dev/null
 dune exec bin/jsonlint.exe -- --jsonl "$trace_file"
 rm -f "$trace_file"
 
+# Heartbeat smoke: the same campaign shape with spans on and a
+# zero-interval heartbeat must stream JSONL that lints clean, render
+# through `countctl watch --once`, and summarise via `report --json`
+# (itself valid JSON).
+hb_file="$(mktemp)"
+dune exec bin/countctl.exe -- chaos --corollary1 1 --campaigns 2 \
+  --phases 2 --events 1 --rounds 400 --seeds 1 --jobs 2 \
+  --spans --heartbeat 0 --heartbeat-file "$hb_file" > /dev/null
+dune exec bin/jsonlint.exe -- --jsonl "$hb_file"
+dune exec bin/countctl.exe -- watch "$hb_file" --once > /dev/null
+report_json="$(mktemp)"
+dune exec bin/countctl.exe -- report "$hb_file" --json > "$report_json"
+dune exec bin/jsonlint.exe -- "$report_json"
+rm -f "$hb_file" "$report_json"
+
 # Hunt smoke: a fixed-seed hunt against a deliberately over-claimed
 # spec (follow-leader claims f=1 but tolerates none) must find failed
 # re-stabilisations, shrink them, and write a corpus that lints as
 # JSONL and replays to the recorded verdicts under parallel workers.
 corpus_file="$(mktemp)"
+hunt_hb="$(mktemp)"
 dune exec bin/countctl.exe -- hunt --algorithm leader:4:5 --claim-f 1 \
   --bound 8 --trials 48 --rounds 120 --jobs 2 \
+  --heartbeat 0 --heartbeat-file "$hunt_hb" \
   --corpus "$corpus_file" > /dev/null
 dune exec bin/jsonlint.exe -- --jsonl "$corpus_file"
+# The hunt's heartbeat stream carries the hits tally and renders too.
+dune exec bin/jsonlint.exe -- --jsonl "$hunt_hb"
+dune exec bin/countctl.exe -- watch "$hunt_hb" --once > /dev/null
+rm -f "$hunt_hb"
 dune exec bin/countctl.exe -- hunt --algorithm leader:4:5 --claim-f 1 \
   --replay "$corpus_file" --jobs 4 > /dev/null
 rm -f "$corpus_file"
@@ -84,10 +112,15 @@ dune exec bench/main.exe -- parallel > /dev/null
 # non-zero if the corpus bytes differ between jobs=1 and parallel.
 REPRO_JOBS=4 dune exec bench/main.exe -- hunt > /dev/null
 
+# Regenerate the observability overhead record; the bench exits
+# non-zero if the instrumented path's outcomes ever diverge from the
+# bare engine's.
+dune exec bench/main.exe -- obs > /dev/null
+
 # The bench logs must always be well-formed JSON (the at_exit flush is
 # crash-safe; a malformed file means that guarantee broke).
 for log in BENCH_sweep.json BENCH_parallel.json BENCH_chaos.json \
-           BENCH_engine.json BENCH_hunt.json; do
+           BENCH_engine.json BENCH_hunt.json BENCH_obs.json; do
   if [ -f "$log" ]; then
     dune exec bin/jsonlint.exe -- "$log"
   fi

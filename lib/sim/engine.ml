@@ -64,9 +64,19 @@ type 's rep = {
   final_states : unit -> 's array;
 }
 
-let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
-    ?(mode = Streaming) ?min_suffix ?window ~(spec : 's Algo.Spec.t)
-    ~(schedule : 's Schedule.t) ~seed () =
+(* Span sampling: timing every round would double-read the clock 3x per
+   round — 5-15% on the flat hot loop, blowing the observability budget.
+   Every 16th round is timed instead and the recorded totals scaled back
+   up; the sampled-round count is a deterministic function of rounds
+   simulated, so span output stays schedule-deterministic (wall values
+   excepted). *)
+let span_sample_mask = 15
+
+let span_sample_scale = float_of_int (span_sample_mask + 1)
+
+let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics
+    ?(spans = Stdx.Span.disabled) ?init ?(mode = Streaming) ?min_suffix
+    ?window ~(spec : 's Algo.Spec.t) ~(schedule : 's Schedule.t) ~seed () =
   let n = spec.Algo.Spec.n in
   let tr_seams = Trace.seams_on tracer in
   let tr_rounds = Trace.rounds_on tracer in
@@ -147,6 +157,15 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
              faulty = Array.to_list fa;
            })
   in
+  (* Sampled span accumulators, shared with the advance closures below.
+     [sample] is recomputed at the top of every round; everything here is
+     wall-clock-only state — it never feeds back into the execution. *)
+  let span_on = Stdx.Span.enabled spans in
+  let sample = ref false in
+  let craft_s = ref 0.0 in
+  let step_s = ref 0.0 in
+  let detect_s = ref 0.0 in
+  let sampled_rounds = ref 0 in
   let rep =
     match flat_codec with
     | None ->
@@ -179,6 +198,7 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
           (fun ~round ->
             let fa = !faulty in
             let cur = !current in
+            let c0 = if !sample then Stdx.Span.now spans else 0.0 in
             let crafted =
               if Array.length fa = 0 then [||]
               else
@@ -191,6 +211,8 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
                      flat codec. *)
                   assert false
             in
+            let s0 = if !sample then Stdx.Span.now spans else 0.0 in
+            if !sample then craft_s := !craft_s +. (s0 -. c0);
             (* Per-recipient view: truth everywhere, overridden on faulty
                slots. *)
             let next =
@@ -201,7 +223,8 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
                     fa;
                   spec.Algo.Spec.transition ~self:v ~rng:node_rng.(v) received)
             in
-            current := next);
+            current := next;
+            if !sample then step_s := !step_s +. (Stdx.Span.now spans -. s0));
         final_states = (fun () -> !current);
       }
     | Some codec ->
@@ -279,6 +302,7 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
           (fun ~round ->
             let fa = !faulty in
             let nf = Array.length fa in
+            let c0 = if !sample then Stdx.Span.now spans else 0.0 in
             if nf > 0 then begin
               (match !crafting with
               | Flat_kernel fc ->
@@ -301,6 +325,8 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
                 done);
               group_recipients nf
             end;
+            let s0 = if !sample then Stdx.Span.now spans else 0.0 in
+            if !sample then craft_s := !craft_s +. (s0 -. c0);
             Statebuf.blit_to !cur recv n;
             for i = 0 to n - 1 do
               (* Faulty slots are rewritten for every recipient, so the
@@ -314,7 +340,8 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
             done;
             let tmp = !cur in
             cur := !nxt;
-            nxt := tmp);
+            nxt := tmp;
+            if !sample then step_s := !step_s +. (Stdx.Span.now spans -. s0));
         final_states =
           (fun () -> Array.init n (fun v -> decode (Statebuf.get !cur v)));
       }
@@ -427,11 +454,17 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
     done;
     apply_events ();
     rep.probe_hook ~round:!t;
+    sample := span_on && !t land span_sample_mask = 0;
+    let d0 = if !sample then Stdx.Span.now spans else 0.0 in
     let outs = rep.outputs_row () in
     rep.trace_hook ~round:!t ~outputs:outs;
     if tr_rounds then
       Trace.emit tracer (Trace.Round { round = !t; phase = !phase_idx });
     Online.observe detector ~round:!t outs;
+    if !sample then begin
+      detect_s := !detect_s +. (Stdx.Span.now spans -. d0);
+      incr sampled_rounds
+    end;
     if
       mode = Streaming
       && !phase_idx = num_phases - 1
@@ -453,6 +486,14 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
   finish_phase ~end_round:!t;
   let messages_per_round = n * (n - 1) in
   let reports = List.rev !reports in
+  if span_on && !sampled_rounds > 0 then begin
+    Stdx.Span.record ~count:!sampled_rounds spans "engine.craft"
+      (!craft_s *. span_sample_scale);
+    Stdx.Span.record ~count:!sampled_rounds spans "engine.step"
+      (!step_s *. span_sample_scale);
+    Stdx.Span.record ~count:!sampled_rounds spans "engine.detect"
+      (!detect_s *. span_sample_scale)
+  end;
   (match metrics with
   | None -> ()
   | Some m ->
@@ -462,6 +503,8 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
       Stdx.Metrics.incr ~by:!flat_phases m "engine.flat_craft_phases";
       Stdx.Metrics.incr ~by:!bridged_phases m "engine.bridged_craft_phases"
     end;
+    if span_on then
+      Stdx.Metrics.incr ~by:!sampled_rounds m "engine.sampled_rounds";
     Stdx.Metrics.incr ~by:!t m "engine.rounds";
     Stdx.Metrics.incr ~by:(!t * messages_per_round) m "engine.messages";
     if !early then Stdx.Metrics.incr m "engine.early_exits";
@@ -488,7 +531,7 @@ let run_schedule ?probe ?trace ?(tracer = Trace.null) ?metrics ?init
     bits_per_round = messages_per_round * spec.Algo.Spec.state_bits;
   }
 
-let run ?probe ?trace ?tracer ?metrics ?init ?mode ?min_suffix ?window
+let run ?probe ?trace ?tracer ?metrics ?spans ?init ?mode ?min_suffix ?window
     ~(spec : 's Algo.Spec.t) ~(adversary : 's Adversary.t) ~faulty ~rounds
     ~seed () =
   let n = spec.Algo.Spec.n in
@@ -502,7 +545,7 @@ let run ?probe ?trace ?tracer ?metrics ?init ?mode ?min_suffix ?window
   | _ -> ());
   let schedule = Schedule.static ~adversary ~faulty ~rounds in
   let o =
-    run_schedule ?probe ?trace ?tracer ?metrics ?init ?mode ?min_suffix
+    run_schedule ?probe ?trace ?tracer ?metrics ?spans ?init ?mode ?min_suffix
       ?window ~spec ~schedule ~seed ()
   in
   {

@@ -135,6 +135,7 @@ val run :
   ?trace:(round:int -> states:'s array -> outputs:int array -> unit) ->
   ?tracer:Trace.t ->
   ?metrics:Stdx.Metrics.t ->
+  ?spans:Stdx.Span.t ->
   ?init:'s array ->
   ?mode:mode ->
   ?min_suffix:int ->
@@ -166,6 +167,17 @@ val run :
     bit-identical with them on or off (differential test in
     [test_telemetry.ml]).
 
+    [spans] (default {!Stdx.Span.disabled}) attributes the run's time to
+    [engine.craft] (adversary message crafting), [engine.step] (state
+    blit + kernel transitions) and [engine.detect] (output row +
+    {!Online} observation), recorded once when the run ends. To keep the
+    flat hot loop within the observability overhead budget only every
+    16th round is clock-sampled and the totals scaled back up; the
+    sampled count is reported as [count] on each span and as the
+    [engine.sampled_rounds] counter (deterministic — it depends only on
+    rounds simulated). Spans are as inert as [tracer]/[metrics]: same
+    differential certification, wall-clock values excepted.
+
     Raises [Invalid_argument] on invalid faulty sets or [init] length,
     like {!Network.run}. *)
 
@@ -174,6 +186,7 @@ val run_schedule :
   ?trace:(round:int -> states:'s array -> outputs:int array -> unit) ->
   ?tracer:Trace.t ->
   ?metrics:Stdx.Metrics.t ->
+  ?spans:Stdx.Span.t ->
   ?init:'s array ->
   ?mode:mode ->
   ?min_suffix:int ->

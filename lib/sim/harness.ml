@@ -56,20 +56,70 @@ end
 let default_cell_cost ~n horizon =
   float_of_int horizon *. float_of_int n *. float_of_int n
 
-(* Per-worker busy seconds land in the caller's registry as the
-   [pool.worker_busy_s] histogram — the load-imbalance signal. Like the
-   cell wall-clock samples it is scheduling-dependent (sample count =
-   actual worker count), which is why it rides the Pool stats side
-   channel and not the deterministic per-cell sinks. *)
+(* Per-worker busy/claim/idle seconds land in the caller's registry as
+   [pool.worker_busy_s]/[pool.worker_claim_s]/[pool.worker_idle_s]
+   histograms — the load-imbalance, claiming-overhead and straggler
+   signals. Like the cell wall-clock samples they are
+   scheduling-dependent (sample count = actual worker count), which is
+   why they ride the Pool stats side channel and not the deterministic
+   per-cell sinks. *)
 let pool_stats_sink metrics =
   Option.map
     (fun m (s : Stdx.Pool.stats) ->
-      Array.iter
-        (fun b ->
-          Stdx.Metrics.observe ~buckets:Stdx.Metrics.time_buckets m
-            "pool.worker_busy_s" b)
+      let observe name v =
+        Stdx.Metrics.observe ~buckets:Stdx.Metrics.time_buckets m name v
+      in
+      Array.iteri
+        (fun w busy ->
+          let claim = s.Stdx.Pool.worker_claim_s.(w) in
+          observe "pool.worker_busy_s" busy;
+          observe "pool.worker_claim_s" claim;
+          observe "pool.worker_idle_s"
+            (Float.max 0.0 (s.Stdx.Pool.wall_s -. busy -. claim)))
         s.Stdx.Pool.worker_busy_s)
     metrics
+
+(* Per-cell span context: records into the cell's private registry
+   (merged deterministically afterwards) and mirrors each recording as
+   a [Trace.Span] event on the cell's private trace. *)
+let span_context ~spans cell_m cell_tr =
+  if not spans then Stdx.Span.disabled
+  else
+    let on_record =
+      if Trace.level cell_tr = Trace.Off then None
+      else
+        Some
+          (fun name count wall_s ->
+            Trace.emit cell_tr (Trace.Span { name; count; wall_s }))
+    in
+    Stdx.Span.create ?metrics:cell_m ?on_record ()
+
+(* Pool-level spans ride the stats side channel: one [pool.busy] /
+   [pool.claim] / [pool.idle] Span event per drain, emitted after the
+   deterministic cell streams (count = actual worker count, so the
+   determinism tests drop these wholesale along with the wall fields). *)
+let emit_pool_spans ?trace ~spans stats =
+  match (trace, stats) with
+  | Some tr, Some (s : Stdx.Pool.stats) when spans && Trace.seams_on tr ->
+    let busy = Array.fold_left ( +. ) 0.0 s.Stdx.Pool.worker_busy_s in
+    let claim = Array.fold_left ( +. ) 0.0 s.Stdx.Pool.worker_claim_s in
+    let idle =
+      Float.max 0.0
+        ((s.Stdx.Pool.wall_s *. float_of_int s.Stdx.Pool.actual_jobs)
+        -. busy -. claim)
+    in
+    let jobs = s.Stdx.Pool.actual_jobs in
+    Trace.emit tr (Trace.Span { name = "pool.busy"; count = jobs; wall_s = busy });
+    Trace.emit tr
+      (Trace.Span { name = "pool.claim"; count = jobs; wall_s = claim });
+    Trace.emit tr (Trace.Span { name = "pool.idle"; count = jobs; wall_s = idle })
+  | _ -> ()
+
+let heartbeat_on_task heartbeat =
+  Option.map
+    (fun hb ~worker ~index:_ ~wall_s ->
+      Stdx.Heartbeat.task_done hb ~worker ~busy_s:wall_s)
+    heartbeat
 
 let spread_fault_set ~n ~f =
   if f = 0 then []
@@ -136,8 +186,8 @@ let merge_cells ?metrics ?trace ~wall_metric ~cells_metric ~label results =
       | _ -> ())
     results
 
-let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
-    ~adversaries () =
+let run ?metrics ?trace ?(spans = false) ?heartbeat
+    ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries () =
   let { Config.fault_sets; seeds; min_suffix; mode; rounds; jobs; schedule } =
     config
   in
@@ -162,35 +212,59 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
   in
   let trace_level = cell_trace_level trace in
   let want_metrics = metrics <> None in
+  let want_cell_metrics = want_metrics || spans || heartbeat <> None in
   let instrumented = want_metrics || trace_level <> Trace.Off in
+  let cell_cost = default_cell_cost ~n rounds in
+  Option.iter
+    (fun hb ->
+      Stdx.Heartbeat.set_totals hb ~cells:(Array.length grid)
+        ~cost:(float_of_int (Array.length grid) *. cell_cost))
+    heartbeat;
   let schedule =
     match schedule with
     | Some (Stdx.Pool.Chunked_auto None) ->
       (* "chunk:auto" with no cost model of its own: tune under the
          harness cost model, like the [None] default below. *)
-      Stdx.Pool.Chunked_auto (Some (fun _ -> default_cell_cost ~n rounds))
+      Stdx.Pool.Chunked_auto (Some (fun _ -> cell_cost))
     | Some s -> s
-    | None -> Stdx.Pool.Cost_sorted (fun _ -> default_cell_cost ~n rounds)
+    | None -> Stdx.Pool.Cost_sorted (fun _ -> cell_cost)
+  in
+  let pool_stats = ref None in
+  let stats_cb =
+    let base = pool_stats_sink metrics in
+    if spans then
+      Some
+        (fun s ->
+          pool_stats := Some s;
+          match base with Some f -> f s | None -> ())
+    else base
   in
   let results =
-    Stdx.Pool.exec ~jobs ~schedule ?stats:(pool_stats_sink metrics)
-      (Array.length grid) (fun i ->
+    Stdx.Pool.exec ~jobs ~schedule ?stats:stats_cb
+      ?on_task:(heartbeat_on_task heartbeat) (Array.length grid) (fun i ->
         let adversary, faulty, seed = grid.(i) in
         let cell_m =
-          if want_metrics then Some (Stdx.Metrics.create ()) else None
+          if want_cell_metrics then Some (Stdx.Metrics.create ()) else None
         in
         let cell_tr =
           if trace_level = Trace.Off then Trace.null
           else Trace.memory ~level:trace_level ()
         in
+        let cell_sp = span_context ~spans cell_m cell_tr in
         let t0 = if instrumented then Stdx.Metrics.wall_clock () else 0.0 in
         let o =
-          Engine.run ?metrics:cell_m ~tracer:cell_tr ~mode ~min_suffix ~spec
-            ~adversary ~faulty ~rounds ~seed ()
+          Engine.run ?metrics:cell_m ~tracer:cell_tr ~spans:cell_sp ~mode
+            ~min_suffix ~spec ~adversary ~faulty ~rounds ~seed ()
         in
         let wall =
           if instrumented then Stdx.Metrics.wall_clock () -. t0 else 0.0
         in
+        let snap = Option.map Stdx.Metrics.snapshot cell_m in
+        Option.iter
+          (fun hb ->
+            Stdx.Heartbeat.cell_done ?snapshot:snap
+              ~rounds:o.Engine.rounds_simulated ~cost:cell_cost hb)
+          heartbeat;
         let outcome =
           {
             adversary = Adversary.name adversary;
@@ -201,8 +275,7 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
             early_exit = o.Engine.early_exit;
           }
         in
-        (outcome, Option.map Stdx.Metrics.snapshot cell_m,
-         Trace.events cell_tr, wall))
+        (outcome, snap, Trace.events cell_tr, wall))
   in
   merge_cells ?metrics ?trace ~wall_metric:"harness.cell_wall_s"
     ~cells_metric:"harness.cells"
@@ -213,6 +286,7 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
         (String.concat ";" (List.map string_of_int faulty))
         seed)
     results;
+  emit_pool_spans ?trace ~spans !pool_stats;
   aggregate_of ~horizon:rounds
     (Array.to_list (Array.map (fun (o, _, _, _) -> o) results))
 
@@ -320,19 +394,28 @@ module Chaos = struct
      the phase reports into an [outcome], capture the private telemetry
      sinks. Shared by [run] (generated schedules) and [replay] (corpus
      schedules). *)
-  let run_cell ~mode ~min_suffix ~spec ~want_metrics ~trace_level ~instrumented
-      ~schedule_seed ~schedule ~run_seed () =
-    let cell_m = if want_metrics then Some (Stdx.Metrics.create ()) else None in
+  let run_cell ~mode ~min_suffix ~spec ~want_cell_metrics ~spans ~heartbeat
+      ~cost ~trace_level ~instrumented ~schedule_seed ~schedule ~run_seed () =
+    let cell_m =
+      if want_cell_metrics then Some (Stdx.Metrics.create ()) else None
+    in
     let cell_tr =
       if trace_level = Trace.Off then Trace.null
       else Trace.memory ~level:trace_level ()
     in
+    let cell_sp = span_context ~spans cell_m cell_tr in
     let t0 = if instrumented then Stdx.Metrics.wall_clock () else 0.0 in
     let o =
-      Engine.run_schedule ?metrics:cell_m ~tracer:cell_tr ~mode ?min_suffix
-        ~spec ~schedule ~seed:run_seed ()
+      Engine.run_schedule ?metrics:cell_m ~tracer:cell_tr ~spans:cell_sp ~mode
+        ?min_suffix ~spec ~schedule ~seed:run_seed ()
     in
     let wall = if instrumented then Stdx.Metrics.wall_clock () -. t0 else 0.0 in
+    let snap = Option.map Stdx.Metrics.snapshot cell_m in
+    Option.iter
+      (fun hb ->
+        Stdx.Heartbeat.cell_done ?snapshot:snap
+          ~rounds:o.Engine.rounds_simulated ~cost hb)
+      heartbeat;
     let phases = o.Engine.phases in
     let recovered =
       List.for_all
@@ -360,11 +443,10 @@ module Chaos = struct
         horizon = o.Engine.horizon;
       }
     in
-    (outcome, Option.map Stdx.Metrics.snapshot cell_m, Trace.events cell_tr,
-     wall)
+    (outcome, snap, Trace.events cell_tr, wall)
 
-  let run ?metrics ?trace ?(config = Config.default)
-      ~(spec : 's Algo.Spec.t) ~adversaries () =
+  let run ?metrics ?trace ?(spans = false) ?heartbeat
+      ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries () =
     let {
       Config.campaigns;
       phases;
@@ -413,6 +495,7 @@ module Chaos = struct
     let num_seeds = Array.length seeds in
     let trace_level = cell_trace_level trace in
     let want_metrics = metrics <> None in
+    let want_cell_metrics = want_metrics || spans || heartbeat <> None in
     let instrumented = want_metrics || trace_level <> Trace.Off in
     let n = spec.Algo.Spec.n in
     (* Campaigns draw random phase durations, so horizons — and costs —
@@ -421,6 +504,15 @@ module Chaos = struct
       let _, sched, _ = schedules.(i / num_seeds) in
       default_cell_cost ~n (Schedule.total_rounds sched)
     in
+    let cells = campaigns * num_seeds in
+    Option.iter
+      (fun hb ->
+        let total = ref 0.0 in
+        for i = 0 to cells - 1 do
+          total := !total +. campaign_cost i
+        done;
+        Stdx.Heartbeat.set_totals hb ~cells ~cost:!total)
+      heartbeat;
     let pool_schedule =
       match schedule with
       | Some (Stdx.Pool.Chunked_auto None) ->
@@ -428,14 +520,25 @@ module Chaos = struct
       | Some s -> s
       | None -> Stdx.Pool.Cost_sorted campaign_cost
     in
+    let pool_stats = ref None in
+    let stats_cb =
+      let base = pool_stats_sink metrics in
+      if spans then
+        Some
+          (fun s ->
+            pool_stats := Some s;
+            match base with Some f -> f s | None -> ())
+      else base
+    in
     let results =
-      Stdx.Pool.exec ~jobs ~schedule:pool_schedule
-        ?stats:(pool_stats_sink metrics) (campaigns * num_seeds) (fun i ->
+      Stdx.Pool.exec ~jobs ~schedule:pool_schedule ?stats:stats_cb
+        ?on_task:(heartbeat_on_task heartbeat) cells (fun i ->
           let schedule_seed, schedule, min_suffix =
             schedules.(i / num_seeds)
           in
           let run_seed = seeds.(i mod num_seeds) in
-          run_cell ~mode ~min_suffix:(Some min_suffix) ~spec ~want_metrics
+          run_cell ~mode ~min_suffix:(Some min_suffix) ~spec
+            ~want_cell_metrics ~spans ~heartbeat ~cost:(campaign_cost i)
             ~trace_level ~instrumented ~schedule_seed ~schedule ~run_seed ())
     in
     merge_cells ?metrics ?trace ~wall_metric:"chaos.cell_wall_s"
@@ -445,6 +548,7 @@ module Chaos = struct
         Printf.sprintf "campaign %d seed %d" schedule_seed
           seeds.(i mod num_seeds))
       results;
+    emit_pool_spans ?trace ~spans !pool_stats;
     aggregate_outcomes
       (Array.to_list (Array.map (fun (o, _, _, _) -> o) results))
 
@@ -453,7 +557,7 @@ module Chaos = struct
      machinery. Each entry is fully keyed by its own contents, so the
      aggregate is identical at any [jobs]/[schedule]; [schedule_seed] in
      the outcomes is the entry's index in [entries]. *)
-  let replay ?metrics ?trace ?(jobs = 1) ?schedule
+  let replay ?metrics ?trace ?(spans = false) ?heartbeat ?(jobs = 1) ?schedule
       ?(mode = Engine.Streaming) ~(spec : 's Algo.Spec.t) ~entries () =
     if entries = [] then invalid_arg "Harness.Chaos.replay: no entries";
     let entries = Array.of_list entries in
@@ -479,13 +583,34 @@ module Chaos = struct
     in
     let trace_level = cell_trace_level trace in
     let want_metrics = metrics <> None in
+    let want_cell_metrics = want_metrics || spans || heartbeat <> None in
     let instrumented = want_metrics || trace_level <> Trace.Off in
+    Option.iter
+      (fun hb ->
+        let total = ref 0.0 in
+        for i = 0 to Array.length entries - 1 do
+          total := !total +. entry_cost i
+        done;
+        Stdx.Heartbeat.set_totals hb ~cells:(Array.length entries)
+          ~cost:!total)
+      heartbeat;
+    let pool_stats = ref None in
+    let stats_cb =
+      let base = pool_stats_sink metrics in
+      if spans then
+        Some
+          (fun s ->
+            pool_stats := Some s;
+            match base with Some f -> f s | None -> ())
+      else base
+    in
     let results =
-      Stdx.Pool.exec ~jobs ~schedule:pool_schedule
-        ?stats:(pool_stats_sink metrics) (Array.length entries) (fun i ->
+      Stdx.Pool.exec ~jobs ~schedule:pool_schedule ?stats:stats_cb
+        ?on_task:(heartbeat_on_task heartbeat) (Array.length entries) (fun i ->
           let sched, run_seed, min_suffix = entries.(i) in
-          run_cell ~mode ~min_suffix ~spec ~want_metrics ~trace_level
-            ~instrumented ~schedule_seed:i ~schedule:sched ~run_seed ())
+          run_cell ~mode ~min_suffix ~spec ~want_cell_metrics ~spans
+            ~heartbeat ~cost:(entry_cost i) ~trace_level ~instrumented
+            ~schedule_seed:i ~schedule:sched ~run_seed ())
     in
     merge_cells ?metrics ?trace ~wall_metric:"chaos.cell_wall_s"
       ~cells_metric:"chaos.cells"
@@ -493,6 +618,7 @@ module Chaos = struct
         let _, run_seed, _ = entries.(i) in
         Printf.sprintf "corpus %d seed %d" i run_seed)
       results;
+    emit_pool_spans ?trace ~spans !pool_stats;
     aggregate_outcomes
       (Array.to_list (Array.map (fun (o, _, _, _) -> o) results))
 

@@ -112,11 +112,35 @@ val default_cell_cost : n:int -> int -> float
 
 val pool_stats_sink :
   Stdx.Metrics.t option -> (Stdx.Pool.stats -> unit) option
-(** Feed a pool execution's per-worker busy seconds into the
-    [pool.worker_busy_s] histogram of the given registry ([None] =
-    no sink). Wall-clock values are the one scheduling-dependent
-    instrument, which is why they ride the {!Stdx.Pool.exec} [stats]
-    side channel and not the deterministic per-cell sinks. *)
+(** Feed a pool execution's per-worker busy/claim/idle seconds into the
+    [pool.worker_busy_s] / [pool.worker_claim_s] / [pool.worker_idle_s]
+    histograms of the given registry ([None] = no sink). Wall-clock
+    values are the one scheduling-dependent instrument, which is why
+    they ride the {!Stdx.Pool.exec} [stats] side channel and not the
+    deterministic per-cell sinks. *)
+
+val span_context : spans:bool -> Stdx.Metrics.t option -> Trace.t -> Stdx.Span.t
+(** The per-cell span context: {!Stdx.Span.disabled} when [spans] is
+    false, otherwise a context recording [span.*_s] observations into
+    the cell's private registry and mirroring each recording as a
+    {!Trace.Span} event on the cell's private trace (when it is on).
+    Both sinks are merged deterministically by {!merge_cells}. *)
+
+val emit_pool_spans :
+  ?trace:Trace.t -> spans:bool -> Stdx.Pool.stats option -> unit
+(** Emit the drain-level [pool.busy] / [pool.claim] / [pool.idle]
+    {!Trace.Span} triple (count = actual worker count) onto the caller's
+    trace, after the deterministic cell streams. Wall-clock and
+    scheduling-dependent, like everything on the stats side channel —
+    the determinism suites drop [pool.*] spans wholesale. No-op without
+    a trace, without stats, or when [spans] is false. *)
+
+val heartbeat_on_task :
+  Stdx.Heartbeat.t option ->
+  (worker:int -> index:int -> wall_s:float -> unit) option
+(** The {!Stdx.Pool.exec} [on_task] hook feeding per-worker busy time
+    into a heartbeat's utilization gauge ([None] = no hook). Runs on
+    worker domains; the heartbeat is mutex-protected. *)
 
 val merge_cells :
   ?metrics:Stdx.Metrics.t ->
@@ -135,6 +159,8 @@ val merge_cells :
 val run :
   ?metrics:Stdx.Metrics.t ->
   ?trace:Trace.t ->
+  ?spans:bool ->
+  ?heartbeat:Stdx.Heartbeat.t ->
   ?config:Config.t ->
   spec:'s Algo.Spec.t ->
   adversaries:'s Adversary.t list ->
@@ -155,7 +181,21 @@ val run :
     [pool.worker_busy_s] load histogram, whose sample count is the
     actual worker count) the telemetry is identical at any [jobs] count
     and under any claiming policy, and the sweep outcomes are
-    bit-identical with telemetry on or off. *)
+    bit-identical with telemetry on or off.
+
+    [spans] (default [false]) gives every cell a {!Stdx.Span} context:
+    the engine's craft/step/detect totals land in the cell's registry
+    as [span.*_s] histograms (merged like any cell metric) and — when
+    tracing — as [Trace.Span] events inside the cell's stream, plus one
+    [pool.busy]/[pool.claim]/[pool.idle] Span triple after the cell
+    streams summarising the drain. [heartbeat] streams live progress:
+    the grid's cell count and modelled cost are announced up front,
+    each completed cell advances the ledger (merging its snapshot into
+    the heartbeat's live registry), and each pool task feeds per-worker
+    utilization. Both are certified inert — outcomes bit-identical on
+    or off, and all non-wall-time output jobs/schedule-deterministic
+    (differential tests in [test_obs.ml]). The caller owns the
+    heartbeat's terminal line ({!Stdx.Heartbeat.finish}). *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit
 
@@ -236,6 +276,8 @@ module Chaos : sig
   val run :
     ?metrics:Stdx.Metrics.t ->
     ?trace:Trace.t ->
+    ?spans:bool ->
+    ?heartbeat:Stdx.Heartbeat.t ->
     ?config:Config.t ->
     spec:'s Algo.Spec.t ->
     adversaries:'s Adversary.t list ->
@@ -247,14 +289,17 @@ module Chaos : sig
       empty adversary pool, [campaigns < 1], empty [seeds], or a schedule
       horizon shorter than the spec's modulus ({!Min_suffix.resolve}).
 
-      [metrics]/[trace] behave exactly as in {!Harness.run}: per-cell
-      sinks merged/replayed in cell-index order ([chaos.cell_wall_s],
-      [chaos.cells]), deterministic at any [jobs] count, inert for the
-      outcomes themselves. *)
+      [metrics]/[trace]/[spans]/[heartbeat] behave exactly as in
+      {!Harness.run}: per-cell sinks merged/replayed in cell-index order
+      ([chaos.cell_wall_s], [chaos.cells]), deterministic at any [jobs]
+      count, inert for the outcomes themselves; heartbeat costs use each
+      campaign's own horizon. *)
 
   val replay :
     ?metrics:Stdx.Metrics.t ->
     ?trace:Trace.t ->
+    ?spans:bool ->
+    ?heartbeat:Stdx.Heartbeat.t ->
     ?jobs:int ->
     ?schedule:Stdx.Pool.schedule ->
     ?mode:Engine.mode ->

@@ -66,10 +66,11 @@ let badness_of ~n ~time_bound ~schedule (phases : Engine.phase_report list) =
   in
   { failed_phases; worst_ratio; clamped_events = Schedule.clamped_events ~n schedule }
 
-let evaluate ?metrics ?(mode = Engine.Streaming) ?min_suffix ~time_bound
-    ~(spec : 's Algo.Spec.t) ~schedule ~seed () =
+let evaluate ?metrics ?(spans = Stdx.Span.disabled) ?(mode = Engine.Streaming)
+    ?min_suffix ~time_bound ~(spec : 's Algo.Spec.t) ~schedule ~seed () =
   let o =
-    Engine.run_schedule ?metrics ~mode ?min_suffix ~spec ~schedule ~seed ()
+    Engine.run_schedule ?metrics ~spans ~mode ?min_suffix ~spec ~schedule
+      ~seed ()
   in
   ( badness_of ~n:spec.Algo.Spec.n ~time_bound ~schedule o.Engine.phases,
     o )
@@ -219,8 +220,8 @@ type 's report = {
   worst : 's hit option;
 }
 
-let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
-    ~adversaries () =
+let run ?metrics ?trace ?(spans = false) ?heartbeat
+    ?(config = Config.default) ~(spec : 's Algo.Spec.t) ~adversaries () =
   let {
     Config.trials;
     phases;
@@ -305,27 +306,50 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
     match trace with None -> Trace.Off | Some tr -> Trace.level tr
   in
   let want_metrics = metrics <> None in
-  let instrumented = want_metrics || trace_level <> Trace.Off in
+  let want_cell_metrics = want_metrics || spans || heartbeat <> None in
+  let instrumented = want_cell_metrics || trace_level <> Trace.Off in
+  Option.iter
+    (fun hb ->
+      let cost = ref 0.0 in
+      for i = 0 to trials - 1 do
+        cost := !cost +. trial_cost i
+      done;
+      Stdx.Heartbeat.set_totals hb ~cells:trials ~cost:!cost)
+    heartbeat;
+  let pool_stats = ref None in
+  let stats_cb =
+    let base = Harness.pool_stats_sink metrics in
+    if spans then
+      Some
+        (fun s ->
+          pool_stats := Some s;
+          match base with Some f -> f s | None -> ())
+    else base
+  in
   let results =
-    Stdx.Pool.exec ~jobs ~schedule:pool_schedule
-      ?stats:(Harness.pool_stats_sink metrics) trials (fun trial ->
+    Stdx.Pool.exec ~jobs ~schedule:pool_schedule ?stats:stats_cb
+      ?on_task:(Harness.heartbeat_on_task heartbeat) trials (fun trial ->
         let gen_seed, mut_seed = trial_seeds.(trial) in
         let sched = schedules.(trial) in
         let cell_m =
-          if want_metrics then Some (Stdx.Metrics.create ()) else None
+          if want_cell_metrics then Some (Stdx.Metrics.create ()) else None
         in
         let cell_tr =
           if trace_level = Trace.Off then Trace.null
           else Trace.memory ~level:trace_level ()
         in
+        let cell_sp = Harness.span_context ~spans cell_m cell_tr in
         let t0 = if instrumented then Stdx.Metrics.wall_clock () else 0.0 in
         let execs = ref 0 in
+        let rounds = ref 0 in
         let eval s =
           incr execs;
-          let b, _ =
-            evaluate ?metrics:cell_m ~mode ~min_suffix:req_suffix ~time_bound
-              ~spec ~schedule:s ~seed:run_seed ()
+          let b, o =
+            evaluate ?metrics:cell_m ~spans:cell_sp ~mode
+              ~min_suffix:req_suffix ~time_bound ~spec ~schedule:s
+              ~seed:run_seed ()
           in
+          rounds := !rounds + o.Engine.rounds_simulated;
           b
         in
         let b0 = eval sched in
@@ -344,6 +368,9 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
             None
           | Some cls ->
             Option.iter (fun m -> Stdx.Metrics.incr m "hunt.hits") cell_m;
+            Option.iter
+              (fun hb -> Stdx.Heartbeat.hit hb (cls_to_string cls))
+              heartbeat;
             if Trace.seams_on cell_tr then
               Trace.emit cell_tr
                 (Trace.Hunt_trial
@@ -355,8 +382,9 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
               eval s
             in
             let shrunk, b, steps, kept =
-              shrink ~eval:eval_shrink ~near_bound ~cls ~margin ~min_duration
-                ~budget:shrink_budget ~spec sched b0
+              Stdx.Span.with_ cell_sp "hunt.shrink" (fun () ->
+                  shrink ~eval:eval_shrink ~near_bound ~cls ~margin
+                    ~min_duration ~budget:shrink_budget ~spec sched b0)
             in
             if Trace.seams_on cell_tr then
               Trace.emit cell_tr
@@ -385,17 +413,24 @@ let run ?metrics ?trace ?(config = Config.default) ~(spec : 's Algo.Spec.t)
               }
         in
         let wall =
-          if instrumented then Stdx.Metrics.wall_clock () -. t0 else 0.0
+          if instrumented then
+            Float.max 0.0 (Stdx.Metrics.wall_clock () -. t0)
+          else 0.0
         in
-        ( (hit, !execs),
-          Option.map Stdx.Metrics.snapshot cell_m,
-          Trace.events cell_tr,
-          wall ))
+        Stdx.Span.record cell_sp "hunt.trial" wall;
+        let snap = Option.map Stdx.Metrics.snapshot cell_m in
+        Option.iter
+          (fun hb ->
+            Stdx.Heartbeat.cell_done ?snapshot:snap ~rounds:!rounds
+              ~cost:(trial_cost trial) hb)
+          heartbeat;
+        ((hit, !execs), snap, Trace.events cell_tr, wall))
   in
   Harness.merge_cells ?metrics ?trace ~wall_metric:"hunt.cell_wall_s"
     ~cells_metric:"hunt.cells"
     ~label:(fun i -> Printf.sprintf "trial %d" i)
     results;
+  Harness.emit_pool_spans ?trace ~spans !pool_stats;
   let hits =
     List.filter_map (fun ((h, _), _, _, _) -> h) (Array.to_list results)
   in
@@ -530,8 +565,8 @@ module Corpus = struct
     in
     go 1 []
 
-  let replay ?metrics ?trace ?jobs ?schedule ?mode ~(spec : 's Algo.Spec.t)
-      ~entries () =
+  let replay ?metrics ?trace ?spans ?heartbeat ?jobs ?schedule ?mode
+      ~(spec : 's Algo.Spec.t) ~entries () =
     List.iteri
       (fun i e ->
         if
@@ -549,8 +584,8 @@ module Corpus = struct
       List.map (fun e -> (e.schedule, e.run_seed, Some e.min_suffix)) entries
     in
     let agg =
-      Harness.Chaos.replay ?metrics ?trace ?jobs ?schedule ?mode ~spec
-        ~entries:chaos_entries ()
+      Harness.Chaos.replay ?metrics ?trace ?spans ?heartbeat ?jobs ?schedule
+        ?mode ~spec ~entries:chaos_entries ()
     in
     List.map2
       (fun e (o : Harness.Chaos.outcome) ->

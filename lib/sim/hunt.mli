@@ -79,6 +79,7 @@ val classify : near_bound:float -> badness -> cls option
 
 val evaluate :
   ?metrics:Stdx.Metrics.t ->
+  ?spans:Stdx.Span.t ->
   ?mode:Engine.mode ->
   ?min_suffix:int ->
   time_bound:int option ->
@@ -90,7 +91,8 @@ val evaluate :
 (** Execute one schedule and score it. [min_suffix] is the {e requested}
     value — {!Engine.run_schedule} clamps it against the schedule's own
     horizon, so recording the request is enough to replay the run
-    bit-identically. [mode] defaults to [Engine.Streaming]. *)
+    bit-identically. [mode] defaults to [Engine.Streaming]; [spans]
+    (default {!Stdx.Span.disabled}) is forwarded to the engine. *)
 
 val shrink_candidates :
   margin:int -> min_duration:int -> 's Schedule.t -> 's Schedule.t list
@@ -186,6 +188,8 @@ type 's report = {
 val run :
   ?metrics:Stdx.Metrics.t ->
   ?trace:Trace.t ->
+  ?spans:bool ->
+  ?heartbeat:Stdx.Heartbeat.t ->
   ?config:Config.t ->
   spec:'s Algo.Spec.t ->
   adversaries:'s Adversary.t list ->
@@ -203,7 +207,20 @@ val run :
     trial and one [Hunt_shrink] per hit — engine seams of the inner
     runs are not re-emitted. Both are merged per-cell in trial order
     ([hunt.cell_wall_s], [hunt.cells]) and, as everywhere, inert: the
-    report is bit-identical with telemetry on or off, at any [jobs]. *)
+    report is bit-identical with telemetry on or off, at any [jobs].
+
+    [spans] (default [false]) gives every trial a {!Stdx.Span.t}
+    context: the engine's [engine.craft]/[engine.step]/[engine.detect]
+    spans for each execution (original and shrink candidates alike),
+    plus a [hunt.trial] span per trial and a [hunt.shrink] span per
+    descent — all merged like the rest of the cell telemetry, with the
+    drain-level [pool.*] span triple after ({!Harness.emit_pool_spans}).
+    [heartbeat] streams live progress: trial count and horizon×n² cost
+    totals are announced up front, each finished trial advances the
+    ledger with its simulated rounds and merged snapshot, and every hit
+    bumps the heartbeat's per-class hit tally. The caller owns the
+    terminal line ({!Stdx.Heartbeat.finish}). Both are inert under the
+    same differential contract. *)
 
 (** The regression corpus: self-describing JSONL reproducers. *)
 module Corpus : sig
@@ -251,6 +268,8 @@ module Corpus : sig
   val replay :
     ?metrics:Stdx.Metrics.t ->
     ?trace:Trace.t ->
+    ?spans:bool ->
+    ?heartbeat:Stdx.Heartbeat.t ->
     ?jobs:int ->
     ?schedule:Stdx.Pool.schedule ->
     ?mode:Engine.mode ->

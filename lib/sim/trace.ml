@@ -37,6 +37,7 @@ type event =
       size : int;
       score : float;
     }
+  | Span of { name : string; count : int; wall_s : float }
   | Cell_end of { cell : int; wall_s : float }
 
 (* Events hold ints, int lists, strings and finite floats, so
@@ -91,6 +92,10 @@ let to_json = function
       "{\"ev\":\"hunt-shrink\",\"trial\":%d,\"steps\":%d,\"kept\":%d,\
        \"size\":%d,\"score\":%.17g}"
       trial steps kept size score
+  | Span { name; count; wall_s } ->
+    Printf.sprintf
+      "{\"ev\":\"span\",\"name\":\"%s\",\"count\":%d,\"wall_s\":%.17g}"
+      (json_escape name) count wall_s
   | Cell_end { cell; wall_s } ->
     Printf.sprintf "{\"ev\":\"cell-end\",\"cell\":%d,\"wall_s\":%.17g}" cell
       wall_s
@@ -222,6 +227,8 @@ let of_json line =
                size = i "size";
                score = fl "score";
              })
+      | "span" ->
+        Ok (Span { name = str "name"; count = i "count"; wall_s = fl "wall_s" })
       | "cell-end" ->
         Ok (Cell_end { cell = i "cell"; wall_s = fl "wall_s" })
       | ev -> Error (Printf.sprintf "unknown event kind %S" ev)

@@ -83,6 +83,13 @@ type event =
     }
       (** shrink summary for a hit, emitted after its trial's
           [Hunt_trial] *)
+  | Span of { name : string; count : int; wall_s : float }
+      (** aggregated timing span ([Stdx.Span]): [count] timed
+          occurrences totalling [wall_s] seconds under [name]. Emitted
+          at cell end (engine craft/step/detect totals) and after each
+          pool drain (per-worker claim/busy/idle); a wall-clock
+          instrument, so the determinism tests zero [wall_s] like
+          [Cell_end] *)
   | Cell_end of { cell : int; wall_s : float }
 
 val equal_event : event -> event -> bool

@@ -1,0 +1,175 @@
+(* Periodic progress snapshots as self-describing JSONL.
+
+   A heartbeat owns a mutex-protected progress ledger (cells done /
+   total, cost done / total under the caller's cost model, rounds
+   simulated, hunt hits by class, per-worker busy seconds) plus a live
+   metrics registry that cells merge their private snapshots into as
+   they complete. Completion order is scheduling-dependent, but the
+   merged instruments are counters and histograms — commutative adds —
+   so the *final* registry (and hence the terminal heartbeat line) is
+   deterministic at any jobs count and claiming policy; only wall-time
+   fields and intermediate beats depend on the schedule.
+
+   One JSON object per line, every line tagged {"kind":"heartbeat"};
+   the last line carries "final":true. [beat]s are rate-limited by the
+   configured interval; [finish] always emits (idempotently), so even a
+   sub-second run produces one parseable line. *)
+
+type t = {
+  lock : Mutex.t;
+  out : out_channel;
+  clock : unit -> float;
+  interval_s : float;
+  label : string;
+  started : float;
+  mutable seq : int;
+  mutable last_emit : float;
+  mutable cells_total : int;
+  mutable cost_total : float;
+  mutable cells_done : int;
+  mutable cost_done : float;
+  mutable rounds : int;
+  mutable hits : (string * int) list;
+  mutable worker_busy : float array;
+  metrics : Metrics.t;
+  mutable finished : bool;
+}
+
+let create ?(clock = Metrics.wall_clock) ?(label = "") ~interval_s ~out () =
+  if not (Float.is_finite interval_s) || interval_s < 0.0 then
+    invalid_arg "Heartbeat.create: interval must be finite and non-negative";
+  let now = clock () in
+  {
+    lock = Mutex.create ();
+    out;
+    clock;
+    interval_s;
+    label;
+    started = now;
+    seq = 0;
+    (* First regular beat waits a full interval after start. *)
+    last_emit = now;
+    cells_total = 0;
+    cost_total = 0.0;
+    cells_done = 0;
+    cost_done = 0.0;
+    rounds = 0;
+    hits = [];
+    worker_busy = [||];
+    metrics = Metrics.create ();
+    finished = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+(* ------------------------------------------------------------------ *)
+
+let json_float x = Printf.sprintf "%.17g" x
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Caller holds the lock. *)
+let emit_line t ~final =
+  t.seq <- t.seq + 1;
+  let now = t.clock () in
+  let elapsed = Float.max 0.0 (now -. t.started) in
+  let eta =
+    if t.cost_done > 0.0 && t.cost_total > t.cost_done then
+      json_float (elapsed *. (t.cost_total -. t.cost_done) /. t.cost_done)
+    else "null"
+  in
+  let hits =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) t.hits
+    |> List.map (fun (cls, n) -> Printf.sprintf "\"%s\":%d" (json_escape cls) n)
+    |> String.concat ","
+  in
+  let workers = Array.length t.worker_busy in
+  let busy = Array.fold_left ( +. ) 0.0 t.worker_busy in
+  let utilization =
+    if workers = 0 || elapsed <= 0.0 then 0.0
+    else busy /. (float_of_int workers *. elapsed)
+  in
+  let gc = Gc.quick_stat () in
+  Printf.fprintf t.out
+    "{\"kind\":\"heartbeat\",\"label\":\"%s\",\"seq\":%d,\"final\":%b,\
+     \"t_s\":%s,\"eta_s\":%s,\
+     \"cells_done\":%d,\"cells_total\":%d,\
+     \"cost_done\":%s,\"cost_total\":%s,\"rounds\":%d,\
+     \"hits\":{%s},\
+     \"workers\":{\"count\":%d,\"busy_s\":[%s],\"utilization\":%s},\
+     \"gc\":{\"minor_words\":%s,\"major_words\":%s,\"heap_words\":%d,\
+     \"compactions\":%d},\
+     \"metrics\":%s}\n"
+    (json_escape t.label) t.seq final (json_float elapsed) eta t.cells_done
+    t.cells_total (json_float t.cost_done) (json_float t.cost_total) t.rounds
+    hits workers
+    (String.concat ","
+       (List.map json_float (Array.to_list t.worker_busy)))
+    (json_float utilization) (json_float gc.Gc.minor_words)
+    (json_float gc.Gc.major_words) gc.Gc.heap_words gc.Gc.compactions
+    (Metrics.to_json (Metrics.snapshot t.metrics));
+  flush t.out;
+  t.last_emit <- now
+
+let maybe_emit t =
+  if (not t.finished) && t.clock () -. t.last_emit >= t.interval_s then
+    emit_line t ~final:false
+
+(* ------------------------------------------------------------------ *)
+(* Progress ledger *)
+(* ------------------------------------------------------------------ *)
+
+let set_totals t ~cells ~cost =
+  locked t (fun () ->
+      t.cells_total <- t.cells_total + cells;
+      t.cost_total <- t.cost_total +. cost)
+
+let cell_done ?snapshot ?(rounds = 0) ~cost t =
+  locked t (fun () ->
+      t.cells_done <- t.cells_done + 1;
+      t.cost_done <- t.cost_done +. cost;
+      t.rounds <- t.rounds + rounds;
+      (match snapshot with
+      | Some snap -> Metrics.merge t.metrics snap
+      | None -> ());
+      maybe_emit t)
+
+let hit t cls =
+  locked t (fun () ->
+      (match List.assoc_opt cls t.hits with
+      | Some n -> t.hits <- (cls, n + 1) :: List.remove_assoc cls t.hits
+      | None -> t.hits <- (cls, 1) :: t.hits);
+      maybe_emit t)
+
+let task_done t ~worker ~busy_s =
+  locked t (fun () ->
+      let worker = max 0 worker in
+      if worker >= Array.length t.worker_busy then begin
+        let grown = Array.make (worker + 1) 0.0 in
+        Array.blit t.worker_busy 0 grown 0 (Array.length t.worker_busy);
+        t.worker_busy <- grown
+      end;
+      t.worker_busy.(worker) <- t.worker_busy.(worker) +. Float.max 0.0 busy_s;
+      maybe_emit t)
+
+let beat t = locked t (fun () -> maybe_emit t)
+
+let finish t =
+  locked t (fun () ->
+      if not t.finished then begin
+        emit_line t ~final:true;
+        t.finished <- true
+      end)

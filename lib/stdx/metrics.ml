@@ -99,9 +99,14 @@ let observe ?buckets t name x =
 
 let wall_clock () = Unix.gettimeofday ()
 
-let timed ?(buckets = time_buckets) t name f =
-  let t0 = wall_clock () in
-  let record () = wall_clock () -. t0 in
+(* gettimeofday is not monotonic: NTP steps (or a VM migration) can move
+   it backwards mid-measurement, and a negative duration fed into a
+   histogram poisons its sum. Clamp every elapsed reading at zero. *)
+let elapsed ~clock t0 = Float.max 0.0 (clock () -. t0)
+
+let timed ?(buckets = time_buckets) ?(clock = wall_clock) t name f =
+  let t0 = clock () in
+  let record () = elapsed ~clock t0 in
   match f () with
   | v ->
     let wall = record () in

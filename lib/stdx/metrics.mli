@@ -43,11 +43,19 @@ val wall_clock : unit -> float
 (** [Unix.gettimeofday] — exposed so callers above [stdx] can time
     without their own unix dependency. *)
 
-val timed : ?buckets:float array -> t -> string -> (unit -> 'a) -> 'a * float
+val timed :
+  ?buckets:float array ->
+  ?clock:(unit -> float) ->
+  t ->
+  string ->
+  (unit -> 'a) ->
+  'a * float
 (** [timed t name f] runs [f ()], records its wall-clock seconds into
     histogram [name] (bucket default {!time_buckets}), and returns the
     result with the measured seconds. The duration is recorded even when
-    [f] raises. *)
+    [f] raises. [clock] (default {!wall_clock}) exists for tests; the
+    clock is not monotonic, so negative elapsed readings are clamped to
+    0. *)
 
 (** {2 Snapshots} *)
 

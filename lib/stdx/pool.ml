@@ -21,7 +21,9 @@ type stats = {
   actual_jobs : int;
   policy : string;
   chunk : int;
+  wall_s : float;
   worker_busy_s : float array;
+  worker_claim_s : float array;
   worker_tasks : int array;
 }
 
@@ -99,7 +101,7 @@ let claim_order ~schedule n =
       order;
     order
 
-let exec ?(jobs = 1) ?(schedule = In_order) ?stats n f =
+let exec ?(jobs = 1) ?(schedule = In_order) ?stats ?on_task n f =
   if n < 0 then invalid_arg "Pool.exec: negative task count";
   if jobs < 1 then invalid_arg "Pool.exec: jobs must be >= 1";
   (match schedule with
@@ -119,21 +121,27 @@ let exec ?(jobs = 1) ?(schedule = In_order) ?stats n f =
   let failures = Array.make n None in
   let lock = Mutex.create () in
   let next = ref 0 in
+  let timing = stats <> None || on_task <> None in
+  let busy = Array.make jobs 0.0 in
+  let claiming = Array.make jobs 0.0 in
+  let tasks = Array.make jobs 0 in
   (* Claim [chunk] positions of the order array at once; returns the
-     half-open position range. *)
-  let claim () =
+     half-open position range. Contention on the cursor mutex is charged
+     to the claiming worker (elapsed clamped at 0 — the clock can step
+     backwards). *)
+  let claim w =
+    let t0 = if timing then Unix.gettimeofday () else 0.0 in
     Mutex.lock lock;
     let lo = !next in
     let hi = min n (lo + chunk) in
     next := hi;
     Mutex.unlock lock;
+    if timing then
+      claiming.(w) <- claiming.(w) +. Float.max 0.0 (Unix.gettimeofday () -. t0);
     if lo < hi then Some (lo, hi) else None
   in
-  let timing = stats <> None in
-  let busy = Array.make jobs 0.0 in
-  let tasks = Array.make jobs 0 in
   let rec worker w =
-    match claim () with
+    match claim w with
     | None -> ()
     | Some (lo, hi) ->
       for pos = lo to hi - 1 do
@@ -144,11 +152,18 @@ let exec ?(jobs = 1) ?(schedule = In_order) ?stats n f =
         | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           failures.(i) <- Some (e, bt));
-        if timing then busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0);
+        if timing then begin
+          let d = Float.max 0.0 (Unix.gettimeofday () -. t0) in
+          busy.(w) <- busy.(w) +. d;
+          match on_task with
+          | Some g -> g ~worker:w ~index:i ~wall_s:d
+          | None -> ()
+        end;
         tasks.(w) <- tasks.(w) + 1
       done;
       worker w
   in
+  let t_start = if timing then Unix.gettimeofday () else 0.0 in
   let spawned = Array.init (jobs - 1) (fun d -> Domain.spawn (fun () -> worker (d + 1))) in
   worker 0;
   Array.iter Domain.join spawned;
@@ -159,7 +174,9 @@ let exec ?(jobs = 1) ?(schedule = In_order) ?stats n f =
         actual_jobs = jobs;
         policy = schedule_name schedule;
         chunk;
+        wall_s = Float.max 0.0 (Unix.gettimeofday () -. t_start);
         worker_busy_s = busy;
+        worker_claim_s = claiming;
         worker_tasks = tasks;
       }
   | None -> ());

@@ -72,11 +72,19 @@ type stats = {
       (** consecutive claim positions per mutex acquisition: [1] for
           {!In_order} and {!Cost_sorted}, [k] for [Chunked k], and the
           {!auto_chunk}-resolved size for {!Chunked_auto} *)
+  wall_s : float;
+      (** whole-drain wall clock, first spawn to last join; with
+          [worker_busy_s] this yields per-worker idle time
+          ([wall_s - busy - claim]) *)
   worker_busy_s : float array;
       (** per-worker sum of task wall-clock seconds, length
           [actual_jobs]; slot 0 is the calling domain. The spread of
           this array is the load-imbalance signal: max/mean near 1 means
           the claim order kept every worker busy until the end. *)
+  worker_claim_s : float array;
+      (** per-worker seconds spent acquiring the claim cursor — mutex
+          contention, the claiming-overhead signal chunked policies
+          exist to shrink *)
   worker_tasks : int array;  (** per-worker claimed task count *)
 }
 
@@ -88,6 +96,7 @@ val exec :
   ?jobs:int ->
   ?schedule:schedule ->
   ?stats:(stats -> unit) ->
+  ?on_task:(worker:int -> index:int -> wall_s:float -> unit) ->
   int ->
   (int -> 'a) ->
   'a array
@@ -105,6 +114,14 @@ val exec :
     task-count breakdown of this execution — wall-clock values are the
     one scheduling-dependent output, which is why they travel through
     this side channel rather than the result array.
+
+    [on_task] is the live-progress hook: called as
+    [g ~worker ~index ~wall_s] immediately after each task finishes
+    (succeeded or failed), from the worker's own domain — the callee
+    must be thread-safe (the heartbeat emitter is mutex-protected).
+    Call order across workers is scheduling-dependent; like [stats] it
+    carries only wall-clock side-channel data and must not influence
+    results.
 
     [f] must not rely on shared mutable state: task order within the
     grid is policy- and scheduling-dependent (only the {e placement} of

@@ -1,0 +1,51 @@
+(* Allocation-light timing spans. A span context is a handful of
+   immutable closures; the disabled context reduces every call site to
+   one branch on [enabled], so instrumented hot paths cost nothing when
+   observability is off. Recording clamps at zero (the clock is
+   [Unix.gettimeofday], which can step backwards) and lands in a
+   [Metrics] histogram named ["span.<name>_s"], optionally fanning out
+   to an [on_record] hook — the seam the sim layer uses to emit
+   structured trace events without stdx depending on it. *)
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  metrics : Metrics.t option;
+  on_record : (string -> int -> float -> unit) option;
+}
+
+let disabled =
+  { enabled = false; clock = (fun () -> 0.0); metrics = None; on_record = None }
+
+let create ?(clock = Metrics.wall_clock) ?metrics ?on_record () =
+  { enabled = true; clock; metrics; on_record }
+
+let enabled t = t.enabled
+
+let metric_name name = "span." ^ name ^ "_s"
+
+let now t = t.clock ()
+
+let record ?(count = 1) t name secs =
+  if t.enabled then begin
+    let secs = Float.max 0.0 secs in
+    (match t.metrics with
+    | Some m ->
+      Metrics.observe ~buckets:Metrics.time_buckets m (metric_name name) secs
+    | None -> ());
+    match t.on_record with Some f -> f name count secs | None -> ()
+  end
+
+let with_ t name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = t.clock () in
+    match f () with
+    | v ->
+      record t name (t.clock () -. t0);
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      record t name (t.clock () -. t0);
+      Printexc.raise_with_backtrace e bt
+  end

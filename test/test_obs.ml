@@ -1,0 +1,583 @@
+(* Live observability layer: Stdx.Span, Stdx.Heartbeat, and the
+   differential guarantee that spans + heartbeat streaming change
+   nothing about a run. Complements test_telemetry.ml, which covers the
+   metrics/trace side of the same contract. *)
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let rejects name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let parallel_jobs =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ -> 8)
+  | None -> 8
+
+(* A settable mock clock: spans and heartbeats take ?clock precisely so
+   these tests can script time. *)
+let mock_clock start =
+  let t = ref start in
+  ((fun () -> !t), fun v -> t := v)
+
+(* ------------------------------------------------------------------ *)
+(* Stdx.Span                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_records_into_metrics () =
+  let clock, set = mock_clock 0.0 in
+  let m = Stdx.Metrics.create () in
+  let sp = Stdx.Span.create ~clock ~metrics:m () in
+  check Alcotest.bool "live context is enabled" true (Stdx.Span.enabled sp);
+  check (Alcotest.float 0.0) "now reads the clock" 0.0 (Stdx.Span.now sp);
+  let v = Stdx.Span.with_ sp "craft" (fun () -> set 2.5; 41) in
+  check Alcotest.int "with_ returns the result" 41 v;
+  Stdx.Span.record sp "craft" 0.5;
+  match Stdx.Metrics.find (Stdx.Metrics.snapshot m) "span.craft_s" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check Alcotest.int "both recordings landed" 2 h.count;
+    check (Alcotest.float 1e-9) "durations sum" 3.0 h.sum
+  | _ -> Alcotest.fail "span.craft_s histogram missing"
+
+let test_span_nesting_and_exceptions () =
+  let clock, set = mock_clock 0.0 in
+  let m = Stdx.Metrics.create () in
+  let sp = Stdx.Span.create ~clock ~metrics:m () in
+  Stdx.Span.with_ sp "outer" (fun () ->
+      set 1.0;
+      Stdx.Span.with_ sp "inner" (fun () -> set 4.0));
+  let snap = Stdx.Metrics.snapshot m in
+  (match Stdx.Metrics.find snap "span.outer_s" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check (Alcotest.float 1e-9) "outer covers inner" 4.0 h.sum
+  | _ -> Alcotest.fail "outer span missing");
+  (match Stdx.Metrics.find snap "span.inner_s" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check (Alcotest.float 1e-9) "inner timed alone" 3.0 h.sum
+  | _ -> Alcotest.fail "inner span missing");
+  (match
+     Stdx.Span.with_ sp "raising" (fun () ->
+         set 10.0;
+         failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "with_ swallowed the exception");
+  match Stdx.Metrics.find (Stdx.Metrics.snapshot m) "span.raising_s" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check Alcotest.int "recorded even on raise" 1 h.count
+  | _ -> Alcotest.fail "raising span missing"
+
+let test_span_on_record_hook_and_count () =
+  let seen = ref [] in
+  let sp =
+    Stdx.Span.create
+      ~on_record:(fun name count secs -> seen := (name, count, secs) :: !seen)
+      ()
+  in
+  Stdx.Span.record ~count:16 sp "step" 0.25;
+  Stdx.Span.record sp "detect" 0.5;
+  check Alcotest.bool "hook sees name, count and seconds" true
+    (List.rev !seen = [ ("step", 16, 0.25); ("detect", 1, 0.5) ])
+
+let test_span_clamps_backward_clock () =
+  (* The wall clock is not monotonic: a span whose section straddles a
+     clock step backwards must record 0, not a negative duration. *)
+  let clock, set = mock_clock 100.0 in
+  let m = Stdx.Metrics.create () in
+  let sp = Stdx.Span.create ~clock ~metrics:m () in
+  Stdx.Span.with_ sp "warp" (fun () -> set 40.0);
+  Stdx.Span.record sp "warp" (-5.0);
+  match Stdx.Metrics.find (Stdx.Metrics.snapshot m) "span.warp_s" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check Alcotest.int "both recorded" 2 h.count;
+    check (Alcotest.float 0.0) "negative elapsed clamped to 0" 0.0 h.sum
+  | _ -> Alcotest.fail "warp span missing"
+
+let test_span_disabled_is_inert () =
+  let sp = Stdx.Span.disabled in
+  check Alcotest.bool "disabled" false (Stdx.Span.enabled sp);
+  check (Alcotest.float 0.0) "now is 0" 0.0 (Stdx.Span.now sp);
+  Stdx.Span.record sp "x" 1.0;
+  check Alcotest.int "with_ still runs the function" 7
+    (Stdx.Span.with_ sp "x" (fun () -> 7))
+
+(* Satellite regression: Metrics.timed itself must clamp too. *)
+let test_timed_clamps_backward_clock () =
+  let clock, set = mock_clock 100.0 in
+  let m = Stdx.Metrics.create () in
+  let v, wall = Stdx.Metrics.timed ~clock m "t" (fun () -> set 60.0; 3) in
+  check Alcotest.int "result returned" 3 v;
+  check (Alcotest.float 0.0) "returned wall clamped to 0" 0.0 wall;
+  match Stdx.Metrics.find (Stdx.Metrics.snapshot m) "t" with
+  | Some (Stdx.Metrics.Histogram h) ->
+    check Alcotest.int "recorded once" 1 h.count;
+    check (Alcotest.float 0.0) "recorded wall clamped to 0" 0.0 h.sum
+  | _ -> Alcotest.fail "histogram missing"
+
+(* ------------------------------------------------------------------ *)
+(* Stdx.Metrics.merge error paths                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_error_paths () =
+  let source kind =
+    let w = Stdx.Metrics.create () in
+    (match kind with
+    | `Counter -> Stdx.Metrics.incr w "x"
+    | `Gauge -> Stdx.Metrics.set_gauge w "x" 1.0
+    | `Hist -> Stdx.Metrics.observe ~buckets:[| 1.0; 2.0 |] w "x" 0.5);
+    Stdx.Metrics.snapshot w
+  in
+  let target kind =
+    let m = Stdx.Metrics.create () in
+    (match kind with
+    | `Counter -> Stdx.Metrics.incr m "x"
+    | `Gauge -> Stdx.Metrics.set_gauge m "x" 2.0
+    | `Hist -> Stdx.Metrics.observe ~buckets:[| 8.0 |] m "x" 0.5);
+    m
+  in
+  let clash a b name =
+    rejects name (fun () -> Stdx.Metrics.merge (target a) (source b))
+  in
+  clash `Counter `Gauge "gauge into counter";
+  clash `Counter `Hist "histogram into counter";
+  clash `Gauge `Counter "counter into gauge";
+  clash `Hist `Counter "counter into histogram";
+  clash `Hist `Gauge "gauge into histogram";
+  clash `Hist `Hist "bucket layout mismatch";
+  (* and the messages name the instrument *)
+  (match Stdx.Metrics.merge (target `Hist) (source `Hist) with
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "layout mismatch names the histogram" true
+      (Astring.String.is_infix ~affix:"\"x\"" msg
+      && Astring.String.is_infix ~affix:"bucket layout" msg)
+  | _ -> Alcotest.fail "layout mismatch accepted");
+  match Stdx.Metrics.merge (target `Counter) (source `Gauge) with
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "kind mismatch names the instrument" true
+      (Astring.String.is_infix ~affix:"\"x\"" msg)
+  | _ -> Alcotest.fail "kind mismatch accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Stdx.Heartbeat                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f hb] against a fresh heartbeat writing to a temp file; return
+   the complete lines it produced. *)
+let with_heartbeat ?clock ?label ~interval_s f =
+  let path = Filename.temp_file "hb" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let hb = Stdx.Heartbeat.create ?clock ?label ~interval_s ~out:oc () in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f hb);
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines)
+
+let test_heartbeat_rejects_bad_interval () =
+  rejects "negative interval" (fun () ->
+      ignore
+        (with_heartbeat ~interval_s:(-1.0) (fun _ -> ())));
+  rejects "non-finite interval" (fun () ->
+      ignore (with_heartbeat ~interval_s:Float.nan (fun _ -> ())))
+
+let test_heartbeat_terminal_line_schema () =
+  let clock, set = mock_clock 0.0 in
+  let lines =
+    with_heartbeat ~clock ~label:"A(4,1) chaos" ~interval_s:1000.0 (fun hb ->
+        Stdx.Heartbeat.set_totals hb ~cells:3 ~cost:30.0;
+        Stdx.Heartbeat.set_totals hb ~cells:1 ~cost:10.0;
+        let m = Stdx.Metrics.create () in
+        Stdx.Metrics.incr ~by:7 m "engine.runs";
+        set 2.0;
+        Stdx.Heartbeat.cell_done
+          ~snapshot:(Stdx.Metrics.snapshot m)
+          ~rounds:120 ~cost:10.0 hb;
+        Stdx.Heartbeat.hit hb "failed";
+        Stdx.Heartbeat.hit hb "failed";
+        Stdx.Heartbeat.hit hb "clamped";
+        Stdx.Heartbeat.task_done hb ~worker:1 ~busy_s:1.0;
+        set 4.0;
+        Stdx.Heartbeat.finish hb;
+        (* idempotent: neither a second finish nor a later beat emits *)
+        Stdx.Heartbeat.finish hb;
+        Stdx.Heartbeat.beat hb)
+  in
+  check Alcotest.int "interval 1000s: only the terminal line" 1
+    (List.length lines);
+  let j = Stdx.Json.parse (List.hd lines) in
+  let f name conv = conv name (Stdx.Json.field j name) in
+  check Alcotest.string "kind" "heartbeat" (f "kind" Stdx.Json.to_string);
+  check Alcotest.string "label" "A(4,1) chaos" (f "label" Stdx.Json.to_string);
+  check Alcotest.int "seq" 1 (f "seq" Stdx.Json.to_int);
+  check Alcotest.bool "final" true (f "final" Stdx.Json.to_bool);
+  check (Alcotest.float 0.0) "t_s from the mock clock" 4.0
+    (f "t_s" Stdx.Json.to_float);
+  (* 2 s spent on 10 of 40 cost units -> 6 s to go *)
+  check (Alcotest.float 1e-9) "eta extrapolates the cost model" 12.0
+    (f "eta_s" Stdx.Json.to_float);
+  check Alcotest.int "cells_done" 1 (f "cells_done" Stdx.Json.to_int);
+  check Alcotest.int "set_totals adds: cells_total" 4
+    (f "cells_total" Stdx.Json.to_int);
+  check (Alcotest.float 0.0) "set_totals adds: cost_total" 40.0
+    (f "cost_total" Stdx.Json.to_float);
+  check (Alcotest.float 0.0) "cost_done" 10.0 (f "cost_done" Stdx.Json.to_float);
+  check Alcotest.int "rounds" 120 (f "rounds" Stdx.Json.to_int);
+  (match Stdx.Json.field j "hits" with
+  | Stdx.Json.Object kvs ->
+    check Alcotest.bool "hits tally sorted by class" true
+      (List.map (fun (k, v) -> (k, Stdx.Json.to_int k v)) kvs
+      = [ ("clamped", 1); ("failed", 2) ])
+  | _ -> Alcotest.fail "hits must be an object");
+  (let w = Stdx.Json.field j "workers" in
+   check Alcotest.int "worker array grown to the highest id" 2
+     (Stdx.Json.to_int "count" (Stdx.Json.field w "count"));
+   check Alcotest.bool "busy_s per worker" true
+     (List.map (Stdx.Json.to_float "busy_s")
+        (Stdx.Json.to_list "busy_s" (Stdx.Json.field w "busy_s"))
+     = [ 0.0; 1.0 ]);
+   (* 1 busy second over 2 workers x 4 elapsed seconds *)
+   check (Alcotest.float 1e-9) "utilization" 0.125
+     (Stdx.Json.to_float "utilization" (Stdx.Json.field w "utilization")));
+  (let gc = Stdx.Json.field j "gc" in
+   check Alcotest.bool "gc gauges present and sane" true
+     (Stdx.Json.to_float "minor_words" (Stdx.Json.field gc "minor_words")
+      >= 0.0
+     && Stdx.Json.to_int "heap_words" (Stdx.Json.field gc "heap_words") > 0));
+  match Stdx.Json.field (Stdx.Json.field j "metrics") "counters" with
+  | Stdx.Json.Object kvs ->
+    check Alcotest.bool "cell snapshot merged into the live registry" true
+      (List.assoc_opt "engine.runs" kvs = Some (Stdx.Json.Int 7))
+  | _ -> Alcotest.fail "metrics.counters must be an object"
+
+let test_heartbeat_interval_gating () =
+  let clock, set = mock_clock 0.0 in
+  let lines =
+    with_heartbeat ~clock ~interval_s:10.0 (fun hb ->
+        Stdx.Heartbeat.set_totals hb ~cells:4 ~cost:4.0;
+        Stdx.Heartbeat.cell_done ~cost:1.0 hb;
+        (* same instant: rate-limited *)
+        Stdx.Heartbeat.cell_done ~cost:1.0 hb;
+        set 11.0;
+        Stdx.Heartbeat.cell_done ~cost:1.0 hb;
+        (* just after a beat: suppressed again *)
+        set 12.0;
+        Stdx.Heartbeat.cell_done ~cost:1.0 hb;
+        set 13.0;
+        Stdx.Heartbeat.finish hb)
+  in
+  check Alcotest.int "one interval beat plus the terminal line" 2
+    (List.length lines);
+  let parsed = List.map Stdx.Json.parse lines in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.bool))
+    "seq increments; only the last is final"
+    [ (1, false); (2, true) ]
+    (List.map
+       (fun j ->
+         ( Stdx.Json.to_int "seq" (Stdx.Json.field j "seq"),
+           Stdx.Json.to_bool "final" (Stdx.Json.field j "final") ))
+       parsed);
+  check Alcotest.bool "zero interval emits on every report" true
+    (List.length
+       (with_heartbeat ~clock ~interval_s:0.0 (fun hb ->
+            Stdx.Heartbeat.cell_done ~cost:1.0 hb;
+            Stdx.Heartbeat.cell_done ~cost:1.0 hb;
+            Stdx.Heartbeat.finish hb))
+    = 3)
+
+let test_heartbeat_floats_round_trip () =
+  (* %.17g everywhere: awkward doubles must survive a write/parse
+     cycle exactly, including inside the embedded metrics snapshot. *)
+  let awkward = 0.1 +. 0.2 in
+  let clock, set = mock_clock 0.0 in
+  let lines =
+    with_heartbeat ~clock ~interval_s:1000.0 (fun hb ->
+        Stdx.Heartbeat.set_totals hb ~cells:1 ~cost:(awkward *. 3.0);
+        let m = Stdx.Metrics.create () in
+        Stdx.Metrics.set_gauge m "g" awkward;
+        Stdx.Metrics.observe ~buckets:[| 1.0 |] m "h" awkward;
+        set (1.0 /. 3.0);
+        Stdx.Heartbeat.cell_done
+          ~snapshot:(Stdx.Metrics.snapshot m)
+          ~cost:awkward hb;
+        Stdx.Heartbeat.finish hb)
+  in
+  let j = Stdx.Json.parse (List.hd lines) in
+  let exact name expect v =
+    check Alcotest.bool (name ^ " round-trips exactly") true
+      (Float.equal (Stdx.Json.to_float name v) expect)
+  in
+  exact "cost_done" awkward (Stdx.Json.field j "cost_done");
+  exact "cost_total" (awkward *. 3.0) (Stdx.Json.field j "cost_total");
+  exact "t_s" (1.0 /. 3.0) (Stdx.Json.field j "t_s");
+  let metrics = Stdx.Json.field j "metrics" in
+  exact "gauge" awkward (Stdx.Json.field (Stdx.Json.field metrics "gauges") "g");
+  let h = Stdx.Json.field (Stdx.Json.field metrics "histograms") "h" in
+  exact "histogram sum" awkward (Stdx.Json.field h "sum")
+
+(* ------------------------------------------------------------------ *)
+(* Differential guarantee: spans + heartbeat are inert                  *)
+(* ------------------------------------------------------------------ *)
+
+let leader =
+  Algo.Combinators.with_claimed_resilience
+    (Counting.Trivial.follow_leader ~n:4 ~c:5)
+    ~f:1
+
+let test_engine_spans_differential () =
+  let go ?metrics ?spans () =
+    Sim.Engine.run ?metrics ?spans ~spec:leader
+      ~adversary:(Sim.Adversary.random_equivocate ())
+      ~faulty:[ 0 ] ~rounds:200 ~seed:5 ()
+  in
+  let plain = go () in
+  let m = Stdx.Metrics.create () in
+  let instrumented = go ~metrics:m ~spans:(Stdx.Span.create ~metrics:m ()) () in
+  check Alcotest.bool "bit-identical outcome with spans on" true
+    (plain = instrumented);
+  let snap = Stdx.Metrics.snapshot m in
+  (* 1-in-16 sampling: the sampled-round count is deterministic even
+     though the recorded seconds are not. *)
+  (match Stdx.Metrics.find snap "engine.sampled_rounds" with
+  | Some (Stdx.Metrics.Counter c) ->
+    check Alcotest.int "every 16th round clock-sampled"
+      ((plain.Sim.Engine.rounds_simulated + 1 + 15) / 16)
+      c
+  | _ -> Alcotest.fail "engine.sampled_rounds missing");
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " present") true (List.mem_assoc name snap))
+    [ "span.engine.craft_s"; "span.engine.step_s"; "span.engine.detect_s" ]
+
+let harness_config ~jobs =
+  Sim.Harness.Config.(
+    default |> with_rounds 150 |> with_seeds [ 1; 2 ] |> with_jobs jobs)
+
+let chaos_config ~jobs =
+  Sim.Harness.Chaos.Config.(
+    default |> with_campaigns 2 |> with_phases 2 |> with_phase_rounds 60
+    |> with_events 1 |> with_seeds [ 1; 2 ] |> with_jobs jobs)
+
+let hunt_config ~jobs =
+  Sim.Hunt.Config.(
+    default |> with_trials 6 |> with_phases 2 |> with_phase_rounds 60
+    |> with_events 1 |> with_time_bound 8 |> with_shrink_budget 24
+    |> with_jobs jobs)
+
+let quiet_heartbeat f =
+  (* interval long enough that only code paths, not beats, differ *)
+  with_heartbeat ~interval_s:1.0e9 (fun hb -> ignore (f hb))
+
+let test_harness_obs_differential () =
+  let adversaries = Sim.Adversary.standard_suite () in
+  let go ?spans ?heartbeat jobs =
+    Sim.Harness.run ?spans ?heartbeat
+      ~config:(harness_config ~jobs)
+      ~spec:leader ~adversaries ()
+  in
+  let plain = go 1 in
+  ignore
+    (quiet_heartbeat (fun hb ->
+         check Alcotest.bool "harness aggregate identical with obs on" true
+           (plain = go ~spans:true ~heartbeat:hb 1)))
+
+let test_chaos_obs_differential () =
+  let adversaries = Sim.Adversary.standard_suite () in
+  let go ?spans ?heartbeat jobs =
+    Sim.Harness.Chaos.run ?spans ?heartbeat
+      ~config:(chaos_config ~jobs)
+      ~spec:leader ~adversaries ()
+  in
+  let plain = go 1 in
+  ignore
+    (quiet_heartbeat (fun hb ->
+         check Alcotest.bool "chaos aggregate identical with obs on" true
+           (plain = go ~spans:true ~heartbeat:hb 1)))
+
+let test_hunt_obs_differential () =
+  let adversaries = Sim.Adversary.standard_suite () in
+  let go ?spans ?heartbeat jobs =
+    Sim.Hunt.run ?spans ?heartbeat ~config:(hunt_config ~jobs) ~spec:leader
+      ~adversaries ()
+  in
+  let plain = go 1 in
+  let corpus report =
+    Sim.Hunt.Corpus.of_report ~spec:leader ~hunt_seed:1 report
+    |> List.map Sim.Hunt.Corpus.entry_to_json
+  in
+  ignore
+    (quiet_heartbeat (fun hb ->
+         let on = go ~spans:true ~heartbeat:hb parallel_jobs in
+         check Alcotest.bool "hunt report identical with obs on" true
+           (plain = on);
+         check
+           (Alcotest.list Alcotest.string)
+           "corpus bytes identical with obs on" (corpus plain) (corpus on)))
+
+(* ------------------------------------------------------------------ *)
+(* Span/heartbeat output is jobs- and schedule-deterministic            *)
+(* ------------------------------------------------------------------ *)
+
+(* Project a terminal heartbeat line onto its deterministic fields:
+   everything except wall-clock seconds (t_s/eta_s), the worker block,
+   the gc block, and [_s]-suffixed instruments inside the metrics
+   snapshot (the same [_s] convention test_telemetry's filters use). *)
+let deterministic_view line =
+  let j = Stdx.Json.parse line in
+  let keep_metrics = function
+    | Stdx.Json.Object kvs ->
+      Stdx.Json.Object
+        (List.map
+           (fun (kind, v) ->
+             match v with
+             | Stdx.Json.Object entries ->
+               ( kind,
+                 Stdx.Json.Object
+                   (List.filter
+                      (fun (name, _) ->
+                        not (Astring.String.is_suffix ~affix:"_s" name))
+                      entries) )
+             | v -> (kind, v))
+           kvs)
+    | v -> v
+  in
+  match j with
+  | Stdx.Json.Object kvs ->
+    List.filter_map
+      (fun (name, v) ->
+        match name with
+        | "t_s" | "eta_s" | "workers" | "gc" -> None
+        | "metrics" -> Some (name, keep_metrics v)
+        | _ -> Some (name, v))
+      kvs
+  | _ -> Alcotest.fail "heartbeat line must be an object"
+
+let obs_schedules =
+  [
+    ("inorder", Some Stdx.Pool.In_order);
+    ("cost(default)", None);
+    ("chunk:3", Some (Stdx.Pool.Chunked 3));
+  ]
+
+let test_heartbeat_jobs_determinism () =
+  let adversaries = Sim.Adversary.standard_suite () in
+  let at ?schedule jobs =
+    let config = chaos_config ~jobs in
+    let config =
+      match schedule with
+      | None -> config
+      | Some s -> Sim.Harness.Chaos.Config.with_schedule s config
+    in
+    let lines =
+      with_heartbeat ~interval_s:1.0e9 (fun hb ->
+          ignore
+            (Sim.Harness.Chaos.run ~spans:true ~heartbeat:hb ~config
+               ~spec:leader ~adversaries ());
+          Stdx.Heartbeat.finish hb)
+    in
+    check Alcotest.int "quiet interval: terminal line only" 1
+      (List.length lines);
+    deterministic_view (List.hd lines)
+  in
+  let base = at ~schedule:Stdx.Pool.In_order 1 in
+  check Alcotest.bool "terminal line carries progress" true
+    (List.assoc "cells_done" base <> Stdx.Json.Int 0);
+  List.iter
+    (fun (label, schedule) ->
+      check Alcotest.bool
+        (Printf.sprintf "heartbeat identical at jobs=%d policy=%s"
+           parallel_jobs label)
+        true
+        (base = at ?schedule parallel_jobs))
+    obs_schedules
+
+let test_span_stream_jobs_determinism () =
+  (* With spans on, the merged trace gains Span events; after zeroing
+     wall payloads and dropping the drain-level pool triple they must be
+     identical at any jobs count under any policy — and the engine span
+     counts must actually be there. *)
+  let adversaries = Sim.Adversary.standard_suite () in
+  let at ?schedule jobs =
+    let m = Stdx.Metrics.create () in
+    let tr = Sim.Trace.memory () in
+    let config = harness_config ~jobs in
+    let config =
+      match schedule with
+      | None -> config
+      | Some s -> Sim.Harness.Config.with_schedule s config
+    in
+    ignore
+      (Sim.Harness.run ~metrics:m ~trace:tr ~spans:true ~config ~spec:leader
+         ~adversaries ());
+    ( Test_telemetry.drop_wall (Stdx.Metrics.snapshot m),
+      Test_telemetry.normalise_wall (Sim.Trace.events tr) )
+  in
+  let m1, t1 = at ~schedule:Stdx.Pool.In_order 1 in
+  check Alcotest.bool "span events present in the merged stream" true
+    (List.exists
+       (function
+         | Sim.Trace.Span { name = "engine.step"; count; _ } -> count > 0
+         | _ -> false)
+       t1);
+  check Alcotest.bool "span histograms landed in metrics (then dropped)" true
+    (not (List.mem_assoc "span.engine.step_s" m1));
+  List.iter
+    (fun (label, schedule) ->
+      let mn, tn = at ?schedule parallel_jobs in
+      check Alcotest.bool
+        (Printf.sprintf "metrics identical at jobs=%d policy=%s" parallel_jobs
+           label)
+        true (m1 = mn);
+      check Alcotest.bool
+        (Printf.sprintf "span stream identical at jobs=%d policy=%s"
+           parallel_jobs label)
+        true (t1 = tn))
+    obs_schedules
+
+let suite =
+  [
+    ( "stdx.span",
+      [
+        case "records into metrics" test_span_records_into_metrics;
+        case "nests and survives raises" test_span_nesting_and_exceptions;
+        case "on_record hook and count" test_span_on_record_hook_and_count;
+        case "clamps a backward clock" test_span_clamps_backward_clock;
+        case "disabled context is inert" test_span_disabled_is_inert;
+        case "Metrics.timed clamps a backward clock"
+          test_timed_clamps_backward_clock;
+        case "merge kind/layout error paths" test_merge_error_paths;
+      ] );
+    ( "stdx.heartbeat",
+      [
+        case "rejects bad intervals" test_heartbeat_rejects_bad_interval;
+        case "terminal line schema" test_heartbeat_terminal_line_schema;
+        case "interval gating and finish idempotence"
+          test_heartbeat_interval_gating;
+        case "floats round-trip exactly (%.17g)"
+          test_heartbeat_floats_round_trip;
+      ] );
+    ( "sim.obs",
+      [
+        case "engine spans differential: inert" test_engine_spans_differential;
+        case "harness obs differential: inert" test_harness_obs_differential;
+        case "chaos obs differential: inert" test_chaos_obs_differential;
+        case "hunt obs differential: inert (corpus bytes)"
+          test_hunt_obs_differential;
+        case "heartbeat terminal line jobs determinism"
+          test_heartbeat_jobs_determinism;
+        case "span stream jobs determinism" test_span_stream_jobs_determinism;
+      ] );
+  ]

@@ -445,24 +445,33 @@ let test_chaos_differential () =
     (plain
     = go ~metrics:(Stdx.Metrics.create ()) ~trace:(Sim.Trace.memory ()) 1)
 
-(* Wall-clock samples ([*.wall_s] plus the per-worker
-   [pool.worker_busy_s] load histogram, whose sample count is the
-   worker count) are the only scheduling-dependent instruments; the
-   jobs determinism guarantee covers everything else. *)
+(* Wall-clock samples are the only scheduling-dependent instruments:
+   every second-valued metric — [*.wall_s], the per-worker
+   [pool.worker_{busy,claim,idle}_s] histograms (sample count = worker
+   count) and the [span.*_s] histograms — carries the [_s] suffix by
+   convention, so the determinism filters drop on that suffix. The jobs
+   determinism guarantee covers everything else. *)
 let drop_wall snap =
   List.filter
-    (fun (name, _) ->
-      not
-        (Astring.String.is_infix ~affix:"wall_s" name
-        || Astring.String.is_infix ~affix:"busy_s" name))
+    (fun (name, _) -> not (Astring.String.is_suffix ~affix:"_s" name))
     snap
 
-let normalise_wall =
-  List.map (fun (ev : Sim.Trace.event) ->
+(* Likewise for event streams: [Cell_end] and [Span] carry a wall-clock
+   payload (zeroed), and the drain-level [pool.*] span triple rides the
+   scheduling-dependent stats side channel (dropped wholesale). *)
+let normalise_wall events =
+  List.filter_map
+    (fun (ev : Sim.Trace.event) ->
       match ev with
       | Sim.Trace.Cell_end { cell; wall_s = _ } ->
-        Sim.Trace.Cell_end { cell; wall_s = 0.0 }
-      | ev -> ev)
+        Some (Sim.Trace.Cell_end { cell; wall_s = 0.0 })
+      | Sim.Trace.Span { name; _ }
+        when Astring.String.is_prefix ~affix:"pool." name ->
+        None
+      | Sim.Trace.Span { name; count; wall_s = _ } ->
+        Some (Sim.Trace.Span { name; count; wall_s = 0.0 })
+      | ev -> Some ev)
+    events
 
 (* [None] = the harness default policy (Cost_sorted); [Some _]
    overrides. Telemetry must be identical under all of them. *)
